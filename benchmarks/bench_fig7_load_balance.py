@@ -1,0 +1,111 @@
+"""Figure 7: triangularity-based vs index-based load balancing.
+
+Paper setup: 20M sequences, 64 nodes, block counts 5..50.  Four panels:
+
+* (a) aligned pairs per process (min/avg/max) — the index-based scheme is
+  better balanced at every block count, the triangularity-based scheme
+  improves as the number of blocks grows;
+* (b) aligned pair lengths (sum of DP-matrix sizes) — same trend;
+* (c) alignment time — follows (b);
+* (d) total time breakdown — the triangularity scheme does less sparse work
+  and wins at high block counts despite its worse alignment balance.
+
+Reproduction: same sweep on the synthetic dataset with 4 virtual ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import PastisPipeline
+from repro.io.tables import format_table
+from repro.mpi.costmodel import TimeBreakdown
+
+from conftest import save_results
+
+BLOCK_COUNTS = [4, 9, 16, 25]
+
+
+def _minavgmax(values: np.ndarray) -> tuple[float, float, float]:
+    tb = TimeBreakdown.from_values(values)
+    return tb.minimum, tb.average, tb.maximum
+
+
+def run_sweep(bench_sequences, bench_params):
+    series = []
+    for scheme in ("index", "triangularity"):
+        for blocks in BLOCK_COUNTS:
+            params = bench_params.replace(num_blocks=blocks, load_balancing=scheme)
+            result = PastisPipeline(params).run(bench_sequences)
+            pairs = np.zeros(params.nodes)
+            cells = np.zeros(params.nodes)
+            align_s = np.zeros(params.nodes)
+            for rec in result.block_records:
+                pairs += rec.pairs_per_rank
+                cells += rec.cells_per_rank
+                align_s += rec.align_seconds_per_rank
+            stats = result.stats
+            series.append(
+                {
+                    "scheme": scheme,
+                    "blocks": blocks,
+                    "pairs_min": _minavgmax(pairs)[0],
+                    "pairs_avg": _minavgmax(pairs)[1],
+                    "pairs_max": _minavgmax(pairs)[2],
+                    "cells_min": _minavgmax(cells)[0],
+                    "cells_avg": _minavgmax(cells)[1],
+                    "cells_max": _minavgmax(cells)[2],
+                    "align_time_max": _minavgmax(align_s)[2],
+                    "align_imbalance_pct": TimeBreakdown.from_values(pairs).imbalance_percent,
+                    "time_align": stats.time_align,
+                    "time_sparse": stats.time_sparse_all,
+                    "time_total": stats.time_total,
+                    "aligned_pairs_total": stats.alignments_performed,
+                    "similar_pairs": stats.similar_pairs,
+                }
+            )
+
+    print("\nFigure 7a/b/c — load balance of aligned pairs / DP cells / alignment time")
+    print(
+        format_table(
+            ["scheme", "blocks", "pairs min", "avg", "max", "imb %", "cells max", "align s (max)"],
+            [
+                [
+                    s["scheme"], s["blocks"], s["pairs_min"], s["pairs_avg"], s["pairs_max"],
+                    s["align_imbalance_pct"], s["cells_max"], s["align_time_max"],
+                ]
+                for s in series
+            ],
+            precision=2,
+        )
+    )
+    print("\nFigure 7d — total time breakdown (modelled seconds)")
+    print(
+        format_table(
+            ["scheme", "blocks", "align", "sparse", "total"],
+            [[s["scheme"], s["blocks"], s["time_align"], s["time_sparse"], s["time_total"]] for s in series],
+            precision=5,
+        )
+    )
+    save_results("fig7_load_balance", series)
+    return series
+
+
+def test_fig7_load_balance(benchmark, bench_sequences, bench_params):
+    series = benchmark.pedantic(
+        run_sweep, args=(bench_sequences, bench_params), rounds=1, iterations=1
+    )
+    by_key = {(s["scheme"], s["blocks"]): s for s in series}
+    for blocks in BLOCK_COUNTS:
+        index = by_key[("index", blocks)]
+        tri = by_key[("triangularity", blocks)]
+        # both schemes perform the same number of alignments and find the same pairs
+        assert index["aligned_pairs_total"] == tri["aligned_pairs_total"]
+        assert index["similar_pairs"] == tri["similar_pairs"]
+        # the index-based scheme is at least as well balanced in aligned pairs
+        assert index["align_imbalance_pct"] <= tri["align_imbalance_pct"] + 1e-9
+        # the triangularity-based scheme does less sparse work
+        assert tri["time_sparse"] <= index["time_sparse"] * 1.001
+    # triangularity imbalance improves (or stays equal) as blocks increase
+    tri_imb = [by_key[("triangularity", b)]["align_imbalance_pct"] for b in BLOCK_COUNTS]
+    assert tri_imb[-1] <= tri_imb[0] + 25.0

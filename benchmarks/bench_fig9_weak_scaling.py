@@ -1,0 +1,114 @@
+"""Figure 9 / Table III: weak scaling.
+
+Paper setup: the number of sequences grows with sqrt(nodes) so that the
+(quadratically growing) number of alignments per node stays constant —
+20M sequences at 25 nodes up to 112M at 784 nodes, 13.5 to 452.4 billion
+alignments (Table III).  Observed: every component except IO scales well and
+the overall weak-scaling efficiency stays above 80%.
+
+Reproduction: (1) Table III regenerated from the workload scaling rules;
+(2) the weak-scaling efficiency series from the analytic model; (3) a
+functional weak-scaling run of the real pipeline (dataset grows with
+sqrt(virtual nodes)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PastisPipeline
+from repro.io.tables import format_table
+from repro.perfmodel import AnalyticModel, WorkloadProfile, weak_scaling_series
+from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
+
+from conftest import save_results
+
+PAPER_NODES = [25, 49, 100, 196, 400, 784]
+PAPER_TABLE3 = {25: 13.5e9, 49: 26.7e9, 100: 55.1e9, 196: 108.9e9, 400: 225.4e9, 784: 452.4e9}
+FUNCTIONAL = [(1, 60), (4, 120), (16, 240)]  # (virtual nodes, sequences)
+
+
+def run(bench_params):
+    base = WorkloadProfile.paper_weak_scaling_base()
+    series = weak_scaling_series(
+        base, PAPER_NODES, AnalyticModel(load_balancing="index", pre_blocking=True)
+    )
+    print("\nTable III — sequences and alignments per node count (paper values in parentheses)")
+    print(
+        format_table(
+            ["nodes", "#seqs (M)", "#alignments (B)", "paper #alignments (B)"],
+            [
+                [
+                    p.nodes,
+                    p.n_sequences / 1e6,
+                    p.alignments / 1e9,
+                    PAPER_TABLE3[p.nodes] / 1e9,
+                ]
+                for p in series
+            ],
+            precision=1,
+        )
+    )
+    print("\nFigure 9 — weak scaling efficiency per component (analytic model)")
+    print(
+        format_table(
+            ["nodes", "eff total", "eff align", "eff spgemm", "eff sparse_all", "eff io"],
+            [
+                [
+                    p.nodes,
+                    p.efficiency_total,
+                    p.efficiency_per_component["align"],
+                    p.efficiency_per_component["spgemm"],
+                    p.efficiency_per_component["sparse_all"],
+                    p.efficiency_per_component["io"],
+                ]
+                for p in series
+            ],
+            precision=3,
+        )
+    )
+
+    # functional weak scaling: synthetic dataset grows with sqrt(nodes)
+    functional = []
+    for nodes, n_seq in FUNCTIONAL:
+        seqs = synthetic_dataset(
+            config=SyntheticDatasetConfig(n_sequences=n_seq, seed=5, mean_family_size=5.0)
+        )
+        params = bench_params.replace(nodes=nodes, num_blocks=4)
+        result = PastisPipeline(params).run(seqs)
+        functional.append(
+            {
+                "nodes": nodes,
+                "n_sequences": n_seq,
+                "alignments": result.stats.alignments_performed,
+                "alignments_per_node": result.stats.alignments_performed / nodes,
+                "time_total": result.stats.time_total,
+            }
+        )
+    print("\nFunctional weak scaling (synthetic; alignments per node should stay roughly flat)")
+    print(
+        format_table(
+            ["nodes", "#seqs", "alignments", "alignments/node", "total s"],
+            [
+                [f["nodes"], f["n_sequences"], f["alignments"], f["alignments_per_node"], f["time_total"]]
+                for f in functional
+            ],
+            precision=4,
+        )
+    )
+    save_results("fig9_weak_scaling", {"model": [p.as_dict() for p in series], "functional": functional})
+    return series, functional
+
+
+def test_fig9_weak_scaling(benchmark, bench_params):
+    series, functional = benchmark.pedantic(run, args=(bench_params,), rounds=1, iterations=1)
+    # Table III shape: alignments grow quadratically with sequences (linearly with nodes)
+    for point in series:
+        paper = PAPER_TABLE3[point.nodes]
+        assert point.alignments == pytest.approx(paper, rel=0.35)
+    # weak scaling efficiency stays high (paper: > 0.80)
+    assert series[-1].efficiency_total > 0.75
+    assert all(p.efficiency_per_component["align"] > 0.9 for p in series)
+    # functional: work per node stays within a factor ~2 while nodes grow 16x
+    per_node = [f["alignments_per_node"] for f in functional]
+    assert max(per_node) / max(min(per_node), 1) < 3.0

@@ -1,0 +1,76 @@
+"""Kernel microbenchmarks: the calibration anchors of the hardware model.
+
+These are not paper figures; they measure the reproduction's own kernels —
+the batched Smith-Waterman wavefront (CUPS of the Python "device") and the
+semiring SpGEMM (partial products per second) — so the gap between the
+measured Python rates and the modelled Summit rates used by the pipeline's
+"modeled" clock is explicit and documented (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.batch import batch_smith_waterman
+from repro.sequences.synthetic import synthetic_dataset
+from repro.sparse.coo import CooMatrix
+from repro.sparse.semiring import CountSemiring, OverlapSemiring
+from repro.sparse.spgemm import spgemm
+
+from conftest import save_results
+
+
+def test_batch_smith_waterman_throughput(benchmark):
+    seqs = synthetic_dataset(n_sequences=64, seed=33)
+    a_list = [seqs.codes(i) for i in range(0, 32)]
+    b_list = [seqs.codes(i) for i in range(32, 64)]
+
+    result = benchmark(batch_smith_waterman, a_list, b_list)
+    cells = int(result["cells"].sum())
+    mcups = cells / benchmark.stats["mean"] / 1e6
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["measured_mcups"] = mcups
+    save_results("kernel_batch_sw", {"cells": cells, "measured_mcups": mcups})
+    assert cells > 0
+    assert np.all(result["score"] >= 0)
+
+
+def test_overlap_spgemm_throughput(benchmark):
+    rng = np.random.default_rng(7)
+    n, k, nnz = 400, 4000, 12000
+    a = CooMatrix(
+        (n, k), rng.integers(0, n, nnz), rng.integers(0, k, nnz),
+        rng.integers(0, 90, nnz).astype(np.int32),
+    ).deduplicate()
+    at = a.transpose()
+
+    def multiply():
+        return spgemm(a, at, OverlapSemiring(), return_stats=True)
+
+    _, stats = benchmark(multiply)
+    products_per_second = stats.flops / benchmark.stats["mean"]
+    benchmark.extra_info["flops"] = stats.flops
+    benchmark.extra_info["compression_factor"] = stats.compression_factor
+    benchmark.extra_info["products_per_second"] = products_per_second
+    save_results(
+        "kernel_spgemm",
+        {
+            "flops": stats.flops,
+            "output_nnz": stats.output_nnz,
+            "compression_factor": stats.compression_factor,
+            "products_per_second": products_per_second,
+        },
+    )
+    assert stats.flops > 0
+    assert stats.compression_factor >= 1.0
+
+
+def test_count_spgemm_scales_with_nnz(benchmark):
+    rng = np.random.default_rng(11)
+    n, k, nnz = 600, 8000, 30000
+    a = CooMatrix(
+        (n, k), rng.integers(0, n, nnz), rng.integers(0, k, nnz), np.ones(nnz, dtype=np.int64)
+    ).deduplicate()
+    at = a.transpose()
+    result = benchmark(spgemm, a, at, CountSemiring())
+    assert result.nnz > 0

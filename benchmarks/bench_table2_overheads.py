@@ -1,0 +1,73 @@
+"""Table II: sequence-communication wait and IO as percentages of the runtime.
+
+Paper observation: on 49-400 nodes the wait for the (non-blocking) sequence
+exchange stays below ~0.3% and IO below ~3% of the total runtime — "the sum
+of the percentages of these two components is usually less than 3%".
+
+Reproduction: the functional pipeline's ledger percentages at small scale,
+plus the analytic model's prediction across the paper's node counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PastisPipeline
+from repro.io.tables import format_table
+from repro.perfmodel import AnalyticModel, WorkloadProfile
+
+from conftest import save_results
+
+NODE_COUNTS = [49, 81, 100, 144, 196, 289, 400]
+
+
+def run(bench_sequences, bench_params):
+    # ---- analytic model at paper scale
+    profile = WorkloadProfile.paper_strong_scaling()
+    series = []
+    for scheme in ("index", "triangularity"):
+        model = AnalyticModel(load_balancing=scheme, pre_blocking=True)
+        for nodes in NODE_COUNTS:
+            times = model.component_times(profile, nodes)
+            series.append(
+                {
+                    "scheme": scheme,
+                    "nodes": nodes,
+                    "cwait_pct": 100.0 * times.cwait / times.total,
+                    "io_pct": 100.0 * times.io / times.total,
+                }
+            )
+    print("\nTable II — cwait%% and IO%% of overall runtime (analytic model, 50M-seq workload)")
+    print(
+        format_table(
+            ["scheme", "nodes", "cwait %", "IO %"],
+            [[s["scheme"], s["nodes"], s["cwait_pct"], s["io_pct"]] for s in series],
+            precision=3,
+        )
+    )
+
+    # ---- functional pipeline at small scale (for reference)
+    result = PastisPipeline(bench_params.replace(num_blocks=4)).run(bench_sequences)
+    functional = {
+        "nodes": bench_params.nodes,
+        "cwait_pct": result.stats.cwait_percent,
+        "io_pct": result.stats.io_percent,
+    }
+    print(
+        f"\nfunctional pipeline ({len(bench_sequences)} seqs, {bench_params.nodes} virtual nodes): "
+        f"cwait {functional['cwait_pct']:.2f}%, IO {functional['io_pct']:.2f}% "
+        f"(IO dominates at toy scale because the modelled compute shrinks faster than the\n"
+        f" fixed file-system latency; at paper scale the model reproduces the <3% behaviour)"
+    )
+    save_results("table2_overheads", {"model": series, "functional": functional})
+    return series, functional
+
+
+def test_table2_overheads(benchmark, bench_sequences, bench_params):
+    series, functional = benchmark.pedantic(
+        run, args=(bench_sequences, bench_params), rounds=1, iterations=1
+    )
+    for s in series:
+        # the paper's headline claim: cwait + IO stay small at scale
+        assert s["cwait_pct"] < 1.0
+        assert s["io_pct"] < 5.0
+    # cwait wait is negligible in the functional run too
+    assert functional["cwait_pct"] < 5.0

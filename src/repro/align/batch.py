@@ -1,0 +1,261 @@
+"""Batched Smith–Waterman: the ADEPT-like wavefront kernel.
+
+ADEPT assigns one pairwise alignment per GPU thread block and sweeps the DP
+matrix one anti-diagonal at a time, keeping only the previous diagonals in
+registers/shared memory.  This module reproduces that execution structure on
+the CPU with NumPy: a *batch* of pairs is padded to a common size and the
+whole batch advances through anti-diagonals together, so every NumPy
+operation works on a ``(batch, diagonal_width)`` array — the SIMD dimension
+that the GPU provides in hardware.
+
+Besides the score and end coordinates (what ADEPT's forward pass returns),
+the kernel propagates, along the best-scoring path, the number of matches,
+the alignment length, and the begin coordinates.  This avoids a traceback
+pass while still providing everything PASTIS needs to compute ANI and
+coverage for the similarity-graph filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .result import ALIGNMENT_RESULT_DTYPE
+from .substitution import DEFAULT_SCORING, ScoringScheme
+
+_NEG = np.int32(-(10**8))
+
+
+class _PathState:
+    """Aux state (matches, length, begin coords) carried along DP paths."""
+
+    __slots__ = ("matches", "length", "begin_a", "begin_b")
+
+    def __init__(self, batch: int, width: int):
+        self.matches = np.zeros((batch, width), dtype=np.int32)
+        self.length = np.zeros((batch, width), dtype=np.int32)
+        self.begin_a = np.zeros((batch, width), dtype=np.int32)
+        self.begin_b = np.zeros((batch, width), dtype=np.int32)
+
+    def copy(self) -> "_PathState":
+        out = _PathState.__new__(_PathState)
+        out.matches = self.matches.copy()
+        out.length = self.length.copy()
+        out.begin_a = self.begin_a.copy()
+        out.begin_b = self.begin_b.copy()
+        return out
+
+    def select(self, cond: np.ndarray, other: "_PathState", sl: slice) -> "_PathState":
+        """Blend two states under a condition over the given slice (new object)."""
+        out = _PathState.__new__(_PathState)
+        out.matches = np.where(cond, self.matches[:, sl], other.matches[:, sl])
+        out.length = np.where(cond, self.length[:, sl], other.length[:, sl])
+        out.begin_a = np.where(cond, self.begin_a[:, sl], other.begin_a[:, sl])
+        out.begin_b = np.where(cond, self.begin_b[:, sl], other.begin_b[:, sl])
+        return out
+
+
+def _pack(codes_list: list[np.ndarray], width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pad code arrays into a ``(batch, width)`` matrix plus a length vector."""
+    batch = len(codes_list)
+    packed = np.zeros((batch, width), dtype=np.intp)
+    lengths = np.zeros(batch, dtype=np.int64)
+    for idx, codes in enumerate(codes_list):
+        L = len(codes)
+        lengths[idx] = L
+        if L:
+            packed[idx, :L] = codes
+    return packed, lengths
+
+
+def batch_smith_waterman(
+    a_list: list[np.ndarray],
+    b_list: list[np.ndarray],
+    scoring: ScoringScheme = DEFAULT_SCORING,
+) -> np.ndarray:
+    """Align ``a_list[k]`` against ``b_list[k]`` for every ``k`` in the batch.
+
+    Returns a structured array of dtype
+    :data:`repro.align.result.ALIGNMENT_RESULT_DTYPE`, one record per pair.
+    """
+    if len(a_list) != len(b_list):
+        raise ValueError("a_list and b_list must have equal length")
+    batch = len(a_list)
+    results = np.zeros(batch, dtype=ALIGNMENT_RESULT_DTYPE)
+    if batch == 0:
+        return results
+
+    M = max((len(s) for s in a_list), default=0)
+    N = max((len(s) for s in b_list), default=0)
+    results["end_a"] = -1
+    results["end_b"] = -1
+    results["cells"] = np.array([len(a) for a in a_list], dtype=np.int64) * np.array(
+        [len(b) for b in b_list], dtype=np.int64
+    )
+    if M == 0 or N == 0:
+        return results
+
+    a_pad, len_a = _pack(a_list, M)
+    b_pad, len_b = _pack(b_list, N)
+    go = np.int32(scoring.gap_open + scoring.gap_extend)
+    ge = np.int32(scoring.gap_extend)
+    sub = scoring.matrix
+
+    width = M + 1  # buffers indexed by DP row i in [0, M]
+    rows = np.arange(width, dtype=np.int32)
+
+    def boundary_state(diag: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, _PathState]:
+        """Fresh buffers filled with local-alignment boundary values for a diagonal."""
+        H = np.zeros((batch, width), dtype=np.int32)
+        E = np.full((batch, width), _NEG, dtype=np.int32)
+        F = np.full((batch, width), _NEG, dtype=np.int32)
+        state = _PathState(batch, width)
+        state.begin_a[:] = rows[None, :]
+        state.begin_b[:] = np.maximum(diag - rows[None, :], 0)
+        return H, E, F, state
+
+    H_prev2, _, _, SH_prev2 = boundary_state(0)
+    H_prev, E_prev, F_prev, SH_prev = boundary_state(1)
+    SE_prev = SH_prev.copy()
+    SF_prev = SH_prev.copy()
+
+    best_score = np.zeros(batch, dtype=np.int32)
+    best_i = np.zeros(batch, dtype=np.int32)
+    best_j = np.zeros(batch, dtype=np.int32)
+    best_state_matches = np.zeros(batch, dtype=np.int32)
+    best_state_length = np.zeros(batch, dtype=np.int32)
+    best_state_begin_a = np.zeros(batch, dtype=np.int32)
+    best_state_begin_b = np.zeros(batch, dtype=np.int32)
+
+    for d in range(2, M + N + 1):
+        ilo = max(1, d - N)
+        ihi = min(M, d - 1)
+        if ilo > ihi:
+            continue
+        sl = slice(ilo, ihi + 1)
+        sl_up = slice(ilo - 1, ihi)  # index i-1
+        i_idx = np.arange(ilo, ihi + 1, dtype=np.int64)
+        j_idx = d - i_idx
+
+        # --- E: gap in A (left move), predecessor (i, j-1) lives at same index i
+        open_e = H_prev[:, sl] - go
+        ext_e = E_prev[:, sl] - ge
+        E_new = np.maximum(open_e, ext_e)
+        take_open_e = open_e >= ext_e
+        SE_new = SH_prev.select(take_open_e, SE_prev, sl)
+        SE_new.length = SE_new.length + 1
+
+        # --- F: gap in B (up move), predecessor (i-1, j) lives at index i-1
+        open_f = H_prev[:, sl_up] - go
+        ext_f = F_prev[:, sl_up] - ge
+        F_new = np.maximum(open_f, ext_f)
+        take_open_f = open_f >= ext_f
+        SF_new = SH_prev.select(take_open_f, SF_prev, sl_up)
+        SF_new.length = SF_new.length + 1
+
+        # --- H: diagonal move from (i-1, j-1), which lives on diag d-2 at index i-1
+        a_res = a_pad[:, i_idx - 1]                     # residues a[i-1]
+        b_res = b_pad[:, j_idx - 1]                     # residues b[j-1]
+        match_scores = sub[a_res, b_res].astype(np.int32)
+        diag_score = H_prev2[:, sl_up] + match_scores
+        H_new = np.maximum(np.maximum(diag_score, 0), np.maximum(E_new, F_new))
+
+        from_diag = (H_new == diag_score) & (H_new > 0)
+        from_f = ~from_diag & (H_new == F_new) & (H_new > 0)
+        from_e = ~from_diag & ~from_f & (H_new == E_new) & (H_new > 0)
+        is_match = (a_res == b_res).astype(np.int32)
+
+        SH_new = _PathState(batch, ihi - ilo + 1)
+        SH_new.matches = np.select(
+            [from_diag, from_f, from_e],
+            [SH_prev2.matches[:, sl_up] + is_match, SF_new.matches, SE_new.matches],
+            default=0,
+        ).astype(np.int32)
+        SH_new.length = np.select(
+            [from_diag, from_f, from_e],
+            [SH_prev2.length[:, sl_up] + 1, SF_new.length, SE_new.length],
+            default=0,
+        ).astype(np.int32)
+        SH_new.begin_a = np.select(
+            [from_diag, from_f, from_e],
+            [SH_prev2.begin_a[:, sl_up], SF_new.begin_a, SE_new.begin_a],
+            default=0,
+        ).astype(np.int32)
+        SH_new.begin_b = np.select(
+            [from_diag, from_f, from_e],
+            [SH_prev2.begin_b[:, sl_up], SF_new.begin_b, SE_new.begin_b],
+            default=0,
+        ).astype(np.int32)
+
+        # per-pair validity mask: padded cells behave like the 0-boundary
+        valid = (i_idx[None, :] <= len_a[:, None]) & (j_idx[None, :] <= len_b[:, None])
+        H_new = np.where(valid, H_new, 0)
+        E_new = np.where(valid, E_new, _NEG)
+        F_new = np.where(valid, F_new, _NEG)
+        zero_h = H_new == 0
+        SH_new.matches = np.where(zero_h, 0, SH_new.matches)
+        SH_new.length = np.where(zero_h, 0, SH_new.length)
+        SH_new.begin_a = np.where(zero_h, i_idx[None, :].astype(np.int32), SH_new.begin_a)
+        SH_new.begin_b = np.where(zero_h, j_idx[None, :].astype(np.int32), SH_new.begin_b)
+
+        # --- update running best cell per pair
+        diag_best_idx = H_new.argmax(axis=1)
+        rows_sel = np.arange(batch)
+        diag_best = H_new[rows_sel, diag_best_idx]
+        improved = diag_best > best_score
+        if improved.any():
+            best_score = np.where(improved, diag_best, best_score)
+            best_i = np.where(improved, i_idx[diag_best_idx].astype(np.int32), best_i)
+            best_j = np.where(improved, j_idx[diag_best_idx].astype(np.int32), best_j)
+            best_state_matches = np.where(
+                improved, SH_new.matches[rows_sel, diag_best_idx], best_state_matches
+            )
+            best_state_length = np.where(
+                improved, SH_new.length[rows_sel, diag_best_idx], best_state_length
+            )
+            best_state_begin_a = np.where(
+                improved, SH_new.begin_a[rows_sel, diag_best_idx], best_state_begin_a
+            )
+            best_state_begin_b = np.where(
+                improved, SH_new.begin_b[rows_sel, diag_best_idx], best_state_begin_b
+            )
+
+        # --- roll buffers: write the new diagonal into full-width arrays
+        H_cur, E_cur, F_cur, SH_cur = boundary_state(d)
+        SE_cur = SH_cur.copy()
+        SF_cur = SH_cur.copy()
+        H_cur[:, sl] = H_new
+        E_cur[:, sl] = E_new
+        F_cur[:, sl] = F_new
+        SH_cur.matches[:, sl] = SH_new.matches
+        SH_cur.length[:, sl] = SH_new.length
+        SH_cur.begin_a[:, sl] = SH_new.begin_a
+        SH_cur.begin_b[:, sl] = SH_new.begin_b
+        SE_cur.matches[:, sl] = SE_new.matches
+        SE_cur.length[:, sl] = SE_new.length
+        SE_cur.begin_a[:, sl] = SE_new.begin_a
+        SE_cur.begin_b[:, sl] = SE_new.begin_b
+        SF_cur.matches[:, sl] = SF_new.matches
+        SF_cur.length[:, sl] = SF_new.length
+        SF_cur.begin_a[:, sl] = SF_new.begin_a
+        SF_cur.begin_b[:, sl] = SF_new.begin_b
+
+        H_prev2, SH_prev2 = H_prev, SH_prev
+        H_prev, E_prev, F_prev = H_cur, E_cur, F_cur
+        SH_prev, SE_prev, SF_prev = SH_cur, SE_cur, SF_cur
+
+    results["score"] = best_score
+    aligned = best_score > 0
+    results["end_a"] = np.where(aligned, best_i - 1, -1)
+    results["end_b"] = np.where(aligned, best_j - 1, -1)
+    results["begin_a"] = np.where(aligned, best_state_begin_a, 0)
+    results["begin_b"] = np.where(aligned, best_state_begin_b, 0)
+    results["matches"] = np.where(aligned, best_state_matches, 0)
+    results["length"] = np.where(aligned, best_state_length, 0)
+    return results
+
+
+def estimate_batch_cells(a_list: list[np.ndarray], b_list: list[np.ndarray]) -> int:
+    """Total number of DP cells a batch will update (the CUPS numerator)."""
+    return int(
+        sum(len(a) * len(b) for a, b in zip(a_list, b_list))
+    )

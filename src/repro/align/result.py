@@ -1,0 +1,116 @@
+"""Alignment result containers and derived similarity metrics.
+
+PASTIS filters aligned pairs on two metrics before admitting them to the
+similarity graph (Table IV): **ANI** (identity over the alignment, threshold
+0.30) and **coverage** (fraction of the shorter sequence covered by the
+alignment, threshold 0.70).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Structured dtype for batched alignment results.
+ALIGNMENT_RESULT_DTYPE = np.dtype(
+    [
+        ("score", np.int32),
+        ("begin_a", np.int32),
+        ("end_a", np.int32),     # inclusive, 0-based residue coordinates
+        ("begin_b", np.int32),
+        ("end_b", np.int32),
+        ("matches", np.int32),
+        ("length", np.int32),    # number of alignment columns
+        ("cells", np.int64),     # DP matrix size (m * n) — the CUPS unit
+    ]
+)
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Result of one pairwise local alignment."""
+
+    score: int
+    begin_a: int
+    end_a: int
+    begin_b: int
+    end_b: int
+    matches: int
+    length: int
+    cells: int
+
+    @property
+    def identity(self) -> float:
+        """ANI: matches divided by the number of alignment columns."""
+        return self.matches / self.length if self.length else 0.0
+
+    def coverage(self, len_a: int, len_b: int) -> float:
+        """Coverage of the shorter sequence by the aligned span."""
+        shorter = min(len_a, len_b)
+        if shorter == 0 or self.length == 0:
+            return 0.0
+        span_a = self.end_a - self.begin_a + 1
+        span_b = self.end_b - self.begin_b + 1
+        return min(span_a, span_b) / shorter
+
+    def to_record(self) -> np.ndarray:
+        """Pack into a single-element structured array."""
+        out = np.zeros(1, dtype=ALIGNMENT_RESULT_DTYPE)
+        out["score"] = self.score
+        out["begin_a"] = self.begin_a
+        out["end_a"] = self.end_a
+        out["begin_b"] = self.begin_b
+        out["end_b"] = self.end_b
+        out["matches"] = self.matches
+        out["length"] = self.length
+        out["cells"] = self.cells
+        return out
+
+    @classmethod
+    def from_record(cls, record: np.ndarray) -> "AlignmentResult":
+        """Unpack one element of an :data:`ALIGNMENT_RESULT_DTYPE` array."""
+        return cls(
+            score=int(record["score"]),
+            begin_a=int(record["begin_a"]),
+            end_a=int(record["end_a"]),
+            begin_b=int(record["begin_b"]),
+            end_b=int(record["end_b"]),
+            matches=int(record["matches"]),
+            length=int(record["length"]),
+            cells=int(record["cells"]),
+        )
+
+
+def identity_array(results: np.ndarray) -> np.ndarray:
+    """Vectorized ANI for a structured result array."""
+    lengths = results["length"].astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ani = np.where(lengths > 0, results["matches"] / lengths, 0.0)
+    return ani
+
+
+def coverage_array(results: np.ndarray, len_a: np.ndarray, len_b: np.ndarray) -> np.ndarray:
+    """Vectorized coverage of the shorter sequence for a result array."""
+    len_a = np.asarray(len_a, dtype=np.float64)
+    len_b = np.asarray(len_b, dtype=np.float64)
+    shorter = np.minimum(len_a, len_b)
+    span_a = (results["end_a"] - results["begin_a"] + 1).astype(np.float64)
+    span_b = (results["end_b"] - results["begin_b"] + 1).astype(np.float64)
+    span = np.minimum(span_a, span_b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cov = np.where((shorter > 0) & (results["length"] > 0), span / shorter, 0.0)
+    return cov
+
+
+def passes_thresholds(
+    results: np.ndarray,
+    len_a: np.ndarray,
+    len_b: np.ndarray,
+    ani_threshold: float,
+    coverage_threshold: float,
+) -> np.ndarray:
+    """Boolean mask of pairs passing both the ANI and coverage thresholds."""
+    return (identity_array(results) >= ani_threshold) & (
+        coverage_array(results, len_a, len_b) >= coverage_threshold
+    )

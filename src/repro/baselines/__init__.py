@@ -1,0 +1,33 @@
+"""Baseline search tools PASTIS is compared against.
+
+Three baselines are provided, all operating on the same
+:class:`repro.sequences.sequence.SequenceSet` inputs and producing the same
+:class:`repro.core.similarity_graph.SimilarityGraph` outputs so they can be
+compared head-to-head with the PASTIS pipeline:
+
+* :mod:`repro.baselines.brute_force` — aligns every pair; the sensitivity
+  ground truth (what a search with perfect recall would return);
+* :mod:`repro.baselines.mmseqs_like` — an MMseqs2-style distributed search:
+  one sequence set is chunked over nodes while the other set's k-mer index is
+  **replicated** on every node (the memory-scaling limitation §IV calls out);
+* :mod:`repro.baselines.diamond_like` — a DIAMOND-style double-indexed
+  search: both sets are chunked, the Cartesian product of chunks forms work
+  packages processed independently, and intermediate results are staged
+  through the (simulated) file system (the IO-pressure behaviour §IV calls
+  out).  Seed statistics are computed *per chunk*, which is why its results
+  change with the block size — unlike PASTIS.
+"""
+
+from .common import BaselineStats, BaselineResult, candidate_recall
+from .brute_force import BruteForceSearch
+from .mmseqs_like import MmseqsLikeSearch
+from .diamond_like import DiamondLikeSearch
+
+__all__ = [
+    "BaselineStats",
+    "BaselineResult",
+    "candidate_recall",
+    "BruteForceSearch",
+    "MmseqsLikeSearch",
+    "DiamondLikeSearch",
+]

@@ -1,0 +1,89 @@
+"""Shared plumbing for the baseline search tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.adept import AdeptDriver
+from ..align.result import coverage_array, identity_array
+from ..align.substitution import ScoringScheme, DEFAULT_SCORING
+from ..core.align_phase import EDGE_DTYPE
+from ..core.similarity_graph import SimilarityGraph
+from ..sequences.sequence import SequenceSet
+
+
+@dataclass
+class BaselineStats:
+    """Workload and resource statistics of one baseline run."""
+
+    name: str = "baseline"
+    candidates: int = 0
+    alignments: int = 0
+    similar_pairs: int = 0
+    alignment_cells: int = 0
+    #: bytes of index data replicated on every node (MMseqs2-style)
+    replicated_index_bytes_per_node: int = 0
+    #: bytes staged through the shared file system (DIAMOND-style)
+    intermediate_io_bytes: int = 0
+    #: modelled per-node peak memory
+    peak_node_bytes: int = 0
+    #: modelled total runtime (node seconds on the critical path)
+    modeled_seconds: float = 0.0
+    measured_seconds: float = 0.0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def alignments_per_second(self) -> float:
+        """Alignments per modelled second."""
+        return self.alignments / self.modeled_seconds if self.modeled_seconds > 0 else 0.0
+
+
+@dataclass
+class BaselineResult:
+    """Similarity graph plus statistics of a baseline run."""
+
+    similarity_graph: SimilarityGraph
+    stats: BaselineStats
+
+
+def align_and_filter(
+    sequences: SequenceSet,
+    pair_rows: np.ndarray,
+    pair_cols: np.ndarray,
+    scoring: ScoringScheme = DEFAULT_SCORING,
+    ani_threshold: float = 0.30,
+    coverage_threshold: float = 0.70,
+    batch_size: int = 128,
+) -> tuple[np.ndarray, int, float]:
+    """Align candidate pairs and keep those passing the thresholds.
+
+    Returns ``(edges, cells, measured_seconds)``.
+    """
+    driver = AdeptDriver(scoring=scoring, batch_size=batch_size)
+    results, stats = driver.align_pairs(sequences, pair_rows, pair_cols)
+    lengths = sequences.lengths
+    ani = identity_array(results)
+    cov = coverage_array(results, lengths[pair_rows], lengths[pair_cols])
+    mask = (ani >= ani_threshold) & (cov >= coverage_threshold)
+    edges = np.zeros(int(mask.sum()), dtype=EDGE_DTYPE)
+    edges["row"] = pair_rows[mask]
+    edges["col"] = pair_cols[mask]
+    edges["score"] = results["score"][mask]
+    edges["ani"] = ani[mask]
+    edges["coverage"] = cov[mask]
+    return edges, int(results["cells"].sum()), stats.measured_seconds
+
+
+def candidate_recall(graph: SimilarityGraph, reference: SimilarityGraph) -> float:
+    """Fraction of the reference graph's edges recovered by ``graph``.
+
+    The standard sensitivity metric when comparing a seeded search against
+    the brute-force ground truth.
+    """
+    ref_edges = reference.edge_key_set()
+    if not ref_edges:
+        return 1.0
+    found = graph.edge_key_set()
+    return len(ref_edges & found) / len(ref_edges)

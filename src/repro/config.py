@@ -1,0 +1,53 @@
+"""Global configuration defaults for the PASTIS reproduction.
+
+The values here mirror the program parameters of the paper's production run
+(Table IV) and the system parameters of Summit used throughout the
+evaluation.  Individual runs override them through
+:class:`repro.core.params.PastisParams` and the hardware specs in
+:mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Package-wide defaults.
+
+    Attributes
+    ----------
+    kmer_length:
+        k-mer length used for seeding (paper: 6).
+    gap_open:
+        Affine gap-open penalty (paper: 11).
+    gap_extend:
+        Affine gap-extension penalty (paper: 2).
+    common_kmer_threshold:
+        Minimum number of shared k-mers for a candidate pair to be aligned
+        (paper: 2).
+    ani_threshold:
+        Minimum average nucleotide/aminoacid identity for a pair to enter the
+        similarity graph (paper: 0.30).
+    coverage_threshold:
+        Minimum coverage of the shorter sequence (paper: 0.70).
+    default_blocking:
+        Default blocking factor (paper production run: 20x20; strong scaling
+        experiments use 8x8).
+    seed:
+        Default RNG seed used by synthetic data generators.
+    """
+
+    kmer_length: int = 6
+    gap_open: int = 11
+    gap_extend: int = 2
+    common_kmer_threshold: int = 2
+    ani_threshold: float = 0.30
+    coverage_threshold: float = 0.70
+    default_blocking: tuple[int, int] = field(default=(8, 8))
+    seed: int = 0
+
+
+#: Module-level singleton with the paper's default parameters.
+DEFAULTS = ReproConfig()

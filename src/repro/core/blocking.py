@@ -1,0 +1,26 @@
+"""Blocking schedule helpers for the incremental similarity search."""
+
+from __future__ import annotations
+
+from ..distsparse.blocked_summa import BlockSchedule
+from .params import PastisParams, nearly_square_factors
+
+
+def make_schedule(n_sequences: int, params: PastisParams) -> BlockSchedule:
+    """Build the output-matrix blocking from the run parameters.
+
+    The blocking factors are clamped to the matrix dimension so tiny test
+    datasets with large ``num_blocks`` still produce a valid schedule.
+    """
+    br, bc = params.blocking_factors()
+    br = min(br, n_sequences)
+    bc = min(bc, n_sequences)
+    return BlockSchedule(n_rows=n_sequences, n_cols=n_sequences, br=br, bc=bc)
+
+
+def schedule_for_num_blocks(n_sequences: int, num_blocks: int) -> BlockSchedule:
+    """Schedule with ``num_blocks`` blocks factored as squarely as possible."""
+    br, bc = nearly_square_factors(num_blocks)
+    br = min(br, n_sequences)
+    bc = min(bc, n_sequences)
+    return BlockSchedule(n_rows=n_sequences, n_cols=n_sequences, br=br, bc=bc)

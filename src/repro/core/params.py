@@ -1,0 +1,155 @@
+"""PASTIS run parameters.
+
+Defaults follow the paper's production configuration (Table IV) where a value
+is given there, and the small-scale evaluation configuration (§VI) otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.substitution import BLOSUM62, ScoringScheme
+from ..sequences.alphabet import Alphabet, MURPHY10, PROTEIN
+
+
+@dataclass
+class PastisParams:
+    """All knobs of a PASTIS similarity search.
+
+    Attributes
+    ----------
+    kmer_length:
+        Seed k-mer length (paper: 6; smaller values increase sensitivity and
+        candidate counts — convenient for small synthetic datasets).
+    seed_alphabet:
+        ``"protein"`` (exact 20-letter k-mers) or ``"murphy10"`` (reduced
+        alphabet seeding, the paper's sensitivity option).
+    substitute_kmers:
+        Number of nearest-neighbour substitute k-mers to add per exact k-mer
+        (0 disables; the paper's other sensitivity option).
+    max_kmer_frequency:
+        Discard k-mers occurring at more than this many positions (None keeps
+        all).
+    gap_open, gap_extend:
+        Affine gap penalties (paper: 11 / 2).
+    common_kmer_threshold:
+        Minimum shared k-mers for a candidate to be aligned (paper: 2).
+    ani_threshold, coverage_threshold:
+        Similarity-graph admission thresholds (paper: 0.30 / 0.70).
+    num_blocks:
+        Total number of output blocks; translated to a near-square ``br x bc``
+        blocking (paper: 400 blocks = 20x20 at full scale, 64 = 8x8 in the
+        scaling study).  Ignored when ``blocking`` is given explicitly.
+    blocking:
+        Explicit ``(br, bc)`` blocking factors, or ``None`` to derive from
+        ``num_blocks``.
+    load_balancing:
+        ``"index"`` or ``"triangularity"`` (§VI-B).
+    pre_blocking:
+        Overlap next-block SpGEMM with current-block alignment (§VI-C).
+    nodes:
+        Number of virtual nodes / MPI ranks; must be a perfect square.
+    align_batch_size:
+        Pairs per ADEPT batch.
+    use_threads:
+        Use a thread pool for per-rank work (real concurrency; results are
+        identical either way).
+    clock:
+        ``"modeled"`` charges hardware-model time (GPU GCUPS for alignment,
+        node sparse throughput for SpGEMM) so component ratios resemble the
+        paper's; ``"measured"`` charges actual Python wall time.
+    alignment_mode:
+        ``"full_sw"`` (paper default: full Smith–Waterman on GPUs) or
+        ``"seed_extend"`` (x-drop, cheaper, less sensitive).
+    """
+
+    kmer_length: int = 6
+    seed_alphabet: str = "protein"
+    substitute_kmers: int = 0
+    max_kmer_frequency: int | None = None
+    gap_open: int = 11
+    gap_extend: int = 2
+    common_kmer_threshold: int = 2
+    ani_threshold: float = 0.30
+    coverage_threshold: float = 0.70
+    num_blocks: int = 1
+    blocking: tuple[int, int] | None = None
+    load_balancing: str = "index"
+    pre_blocking: bool = False
+    nodes: int = 4
+    align_batch_size: int = 128
+    use_threads: bool = False
+    clock: str = "modeled"
+    alignment_mode: str = "full_sw"
+    substitution_matrix: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------ helpers
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        if self.kmer_length < 1:
+            raise ValueError("kmer_length must be >= 1")
+        if self.seed_alphabet not in ("protein", "murphy10"):
+            raise ValueError("seed_alphabet must be 'protein' or 'murphy10'")
+        if self.load_balancing not in ("index", "triangularity"):
+            raise ValueError("load_balancing must be 'index' or 'triangularity'")
+        if self.clock not in ("modeled", "measured"):
+            raise ValueError("clock must be 'modeled' or 'measured'")
+        if self.alignment_mode not in ("full_sw", "seed_extend"):
+            raise ValueError("alignment_mode must be 'full_sw' or 'seed_extend'")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.blocking is not None and (self.blocking[0] < 1 or self.blocking[1] < 1):
+            raise ValueError("blocking factors must be >= 1")
+        if not 0.0 <= self.ani_threshold <= 1.0:
+            raise ValueError("ani_threshold must be in [0, 1]")
+        if not 0.0 <= self.coverage_threshold <= 1.0:
+            raise ValueError("coverage_threshold must be in [0, 1]")
+        if self.common_kmer_threshold < 1:
+            raise ValueError("common_kmer_threshold must be >= 1")
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The seeding alphabet object."""
+        return MURPHY10 if self.seed_alphabet == "murphy10" else PROTEIN
+
+    @property
+    def scoring(self) -> ScoringScheme:
+        """Alignment scoring scheme (BLOSUM62 unless overridden)."""
+        matrix = BLOSUM62 if self.substitution_matrix is None else self.substitution_matrix
+        return ScoringScheme(matrix=matrix, gap_open=self.gap_open, gap_extend=self.gap_extend)
+
+    def blocking_factors(self) -> tuple[int, int]:
+        """The (br, bc) blocking, derived from ``num_blocks`` when not explicit."""
+        if self.blocking is not None:
+            return self.blocking
+        return nearly_square_factors(self.num_blocks)
+
+    def replace(self, **overrides) -> "PastisParams":
+        """A copy with the given fields replaced (dataclasses.replace wrapper)."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **overrides)
+
+
+def nearly_square_factors(n: int) -> tuple[int, int]:
+    """Factor ``n`` into ``(br, bc)`` with ``br <= bc`` as square as possible.
+
+    Used to translate "number of blocks" (as in Fig. 5 / Table I) into the
+    two-dimensional blocking the algorithm needs.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    best = (1, n)
+    root = int(np.sqrt(n))
+    for a in range(root, 0, -1):
+        if n % a == 0:
+            best = (a, n // a)
+            break
+    return best

@@ -1,0 +1,268 @@
+"""The PASTIS many-against-many similarity-search pipeline.
+
+``PastisPipeline.run`` executes the three stages of §V on the simulated
+distributed runtime:
+
+1. **candidate discovery** — build the distributed sequence-by-k-mer matrix
+   ``A`` and form the overlap matrix ``C = A·Aᵀ`` incrementally with the
+   Blocked 2D Sparse SUMMA under the configured load-balancing scheme;
+2. **batch alignment** — for every block, prune the candidates (symmetry +
+   common-k-mer threshold) and align each rank's pairs with the ADEPT-like
+   batched Smith–Waterman driver;
+3. **similarity graph** — keep the pairs passing the ANI/coverage thresholds
+   and assemble the output graph.
+
+All communication, IO and computation is charged to the per-rank cost ledger,
+and the optional pre-blocking model (§VI-C) rearranges the per-block
+component times into the overlapped schedule.  The result object carries the
+similarity graph, Table-IV-style statistics, the per-block records used by
+the figure benchmarks, and the raw ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distsparse.blocked_summa import BlockedSpGemm
+from ..mpi.communicator import SimCommunicator
+from ..mpi.io import ParallelIoModel
+from ..mpi.process_grid import is_perfect_square
+from ..distsparse.distribute import distribute_sequences
+from ..sequences.sequence import SequenceSet
+from ..sparse.coo import CooMatrix
+from ..sparse.semiring import OverlapSemiring
+from .align_phase import AlignmentPhase, EDGE_DTYPE
+from .blocking import make_schedule
+from .costing import CostModel
+from .filtering import drop_self_pairs, filter_common_kmers
+from .kmer_matrix import KmerMatrixInfo, build_distributed_kmer_matrix
+from .load_balance import BlockKind, classify_block, make_scheme
+from .params import PastisParams
+from .preblocking import PreblockingModel, PreblockingReport
+from .similarity_graph import SimilarityGraph
+from .stats import SearchStats
+
+
+@dataclass
+class BlockRecord:
+    """Per-block bookkeeping used by the figure benchmarks."""
+
+    block_row: int
+    block_col: int
+    kind: BlockKind
+    candidates: int
+    aligned_pairs: int
+    similar_pairs: int
+    sparse_seconds_per_rank: np.ndarray
+    align_seconds_per_rank: np.ndarray
+    pairs_per_rank: np.ndarray
+    cells_per_rank: np.ndarray
+    block_bytes: int
+
+
+@dataclass
+class SearchResult:
+    """Everything a PASTIS run produces."""
+
+    similarity_graph: SimilarityGraph
+    stats: SearchStats
+    params: PastisParams
+    comm: SimCommunicator
+    kmer_info: KmerMatrixInfo
+    block_records: list[BlockRecord] = field(default_factory=list)
+    preblocking_report: PreblockingReport | None = None
+
+    @property
+    def ledger(self):
+        """The per-rank cost ledger of the run."""
+        return self.comm.ledger
+
+
+class PastisPipeline:
+    """End-to-end many-against-many protein similarity search."""
+
+    def __init__(self, params: PastisParams | None = None) -> None:
+        self.params = params if params is not None else PastisParams()
+
+    # ------------------------------------------------------------------ public API
+    def run(self, sequences: SequenceSet) -> SearchResult:
+        """Search ``sequences`` against themselves and return the similarity graph."""
+        params = self.params
+        if len(sequences) < 2:
+            raise ValueError("need at least two sequences to search")
+        if not is_perfect_square(params.nodes):
+            raise ValueError(
+                f"nodes={params.nodes} must be a perfect square (2D process grid requirement)"
+            )
+        wall_start = time.perf_counter()
+
+        comm = SimCommunicator(params.nodes)
+        cost_model = CostModel(node=comm.cluster.node)
+        io_model = ParallelIoModel(cluster=comm.cluster, ledger=comm.ledger)
+        scoring_category_exclude = ("spgemm_measured",)
+
+        # ---- input IO and sequence exchange -------------------------------------
+        io_model.collective_read(
+            ParallelIoModel.fasta_bytes(sequences.total_residues, len(sequences))
+        )
+        distribute_sequences(sequences, comm, category="cwait")
+
+        # ---- sequence-by-k-mer matrix --------------------------------------------
+        a_dist, at_dist, kmer_info = build_distributed_kmer_matrix(sequences, params, comm)
+        kmer_bytes = kmer_info.nnz * (8 + 8 + 4)
+        comm.ledger.charge_all(
+            "sparse_other",
+            cost_model.sparse_traversal_seconds(kmer_bytes / comm.size)
+            if params.clock == "modeled"
+            else kmer_info.build_seconds / comm.size,
+        )
+
+        # ---- blocked overlap computation + alignment ------------------------------
+        schedule = make_schedule(len(sequences), params)
+        scheme = make_scheme(params.load_balancing)
+        blocks = scheme.blocks_to_compute(schedule)
+        engine = BlockedSpGemm(
+            a_dist, at_dist, OverlapSemiring(), schedule, compute_category="spgemm_measured"
+        )
+        aligner = AlignmentPhase(sequences, params, comm, cost_model)
+
+        block_records: list[BlockRecord] = []
+        edge_parts: list[np.ndarray] = []
+        candidates_discovered = 0
+        alignments_performed = 0
+        alignment_cells = 0
+        kernel_seconds = 0.0
+        measured_align_seconds = 0.0
+
+        for block_row, block_col in blocks:
+            block = engine.compute_block(block_row, block_col)
+            candidates_discovered += block.nnz
+
+            # charge SpGEMM under the configured clock.  Besides the partial
+            # products, every block re-traverses its row/column stripes of A
+            # and Aᵀ — the "split sparse computations" overhead of §VI-A that
+            # makes the sparse multiply grow with the number of blocks.
+            if params.clock == "modeled":
+                stripe_bytes_per_rank = (
+                    (a_dist.nnz / schedule.br + at_dist.nnz / schedule.bc) / comm.size * 20.0
+                )
+                stripe_seconds = cost_model.sparse_traversal_seconds(stripe_bytes_per_rank)
+                sparse_seconds = np.array(
+                    [
+                        cost_model.spgemm_seconds(f) + stripe_seconds
+                        for f in block.result.flops_per_rank
+                    ]
+                )
+            else:
+                sparse_seconds = np.asarray(block.result.compute_seconds_per_rank, dtype=float)
+            for rank in range(comm.size):
+                comm.ledger.charge(rank, "spgemm", float(sparse_seconds[rank]))
+
+            # prune for symmetry / parity, apply the common-k-mer threshold
+            per_rank_candidates: list[CooMatrix] = []
+            for rank_piece in block.result.per_rank:
+                pruned = scheme.prune(rank_piece)
+                pruned = drop_self_pairs(pruned)
+                pruned = filter_common_kmers(pruned, params.common_kmer_threshold)
+                per_rank_candidates.append(pruned)
+
+            output = aligner.align_block(per_rank_candidates)
+            alignments_performed += output.pairs_aligned
+            alignment_cells += output.cells
+            kernel_seconds += output.kernel_seconds
+            measured_align_seconds += output.measured_seconds
+            if output.edges.size:
+                edge_parts.append(output.edges)
+
+            block_records.append(
+                BlockRecord(
+                    block_row=block_row,
+                    block_col=block_col,
+                    kind=classify_block(
+                        schedule.row_range(block_row), schedule.col_range(block_col)
+                    ),
+                    candidates=block.nnz,
+                    aligned_pairs=output.pairs_aligned,
+                    similar_pairs=int(output.edges.size),
+                    sparse_seconds_per_rank=sparse_seconds,
+                    align_seconds_per_rank=output.align_seconds_per_rank,
+                    pairs_per_rank=output.pairs_aligned_per_rank,
+                    cells_per_rank=output.cells_per_rank,
+                    block_bytes=block.memory_bytes(),
+                )
+            )
+
+        # ---- output IO -------------------------------------------------------------
+        edges = np.concatenate(edge_parts) if edge_parts else np.zeros(0, dtype=EDGE_DTYPE)
+        graph = SimilarityGraph.from_edges(edges, len(sequences))
+        io_model.collective_write(ParallelIoModel.triples_bytes(graph.num_edges))
+
+        # ---- totals, pre-blocking, statistics ---------------------------------------
+        ledger = comm.ledger
+        time_align = ledger.component_time("align")
+        time_spgemm = ledger.component_time("spgemm")
+        time_sparse_other = ledger.component_time("sparse_other")
+        time_io = ledger.component_time("io")
+        time_cwait = ledger.component_time("cwait")
+        time_comm = ledger.component_time("comm")
+        other_seconds = time_sparse_other + time_io + time_cwait + time_comm
+
+        preblocking_report: PreblockingReport | None = None
+        if params.pre_blocking and block_records:
+            model = PreblockingModel()
+            sparse_matrix = np.stack([rec.sparse_seconds_per_rank for rec in block_records])
+            align_matrix = np.stack([rec.align_seconds_per_rank for rec in block_records])
+            preblocking_report = model.evaluate(sparse_matrix, align_matrix, other_seconds)
+            time_total = preblocking_report.total_seconds_pre
+            time_align_reported = preblocking_report.align_seconds_pre
+            time_spgemm_reported = preblocking_report.sparse_seconds_pre
+        else:
+            time_total = ledger.total_time(exclude=scoring_category_exclude)
+            time_align_reported = time_align
+            time_spgemm_reported = time_spgemm
+
+        stats = SearchStats(
+            n_sequences=len(sequences),
+            nodes=params.nodes,
+            blocks_total=schedule.num_blocks,
+            blocks_computed=len(blocks),
+            candidates_discovered=candidates_discovered,
+            alignments_performed=alignments_performed,
+            similar_pairs=graph.num_edges,
+            alignment_cells=alignment_cells,
+            spgemm_flops=int(engine.total_stats.flops),
+            compression_factor=engine.total_stats.compression_factor,
+            peak_block_bytes=engine.peak_block_bytes,
+            time_align=time_align_reported,
+            time_spgemm=time_spgemm_reported,
+            time_sparse_all=time_spgemm_reported + time_sparse_other,
+            time_io=time_io,
+            time_cwait=time_cwait,
+            time_comm=time_comm,
+            time_total=time_total,
+            kernel_seconds=kernel_seconds,
+            wall_seconds=time.perf_counter() - wall_start,
+            imbalance_align_percent=_imbalance_percent(ledger.per_rank("align")),
+            imbalance_sparse_percent=_imbalance_percent(ledger.per_rank("spgemm")),
+            extras={"measured_align_seconds": measured_align_seconds},
+        )
+        return SearchResult(
+            similarity_graph=graph,
+            stats=stats,
+            params=params,
+            comm=comm,
+            kmer_info=kmer_info,
+            block_records=block_records,
+            preblocking_report=preblocking_report,
+        )
+
+
+def _imbalance_percent(per_rank: np.ndarray) -> float:
+    """(max/avg - 1) * 100, 0 when the average is zero."""
+    avg = float(np.mean(per_rank)) if per_rank.size else 0.0
+    if avg <= 0:
+        return 0.0
+    return (float(np.max(per_rank)) / avg - 1.0) * 100.0

@@ -1,0 +1,177 @@
+"""The protein similarity graph — the output of the search.
+
+Vertices are sequences; an edge ``(i, j)`` with attributes (score, ANI,
+coverage) means the pair passed both thresholds.  PASTIS writes the graph as
+triplets ("two sequences and the similarity between them"); downstream uses
+include clustering into protein families, which we provide via connected
+components (and networkx export for anything richer).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..sparse.coo import CooMatrix
+from .align_phase import EDGE_DTYPE
+
+
+@dataclass
+class SimilarityGraph:
+    """An undirected similarity graph over ``n_vertices`` sequences.
+
+    Edges are stored once per unordered pair with ``row < col``.
+    """
+
+    n_vertices: int
+    edges: np.ndarray  # structured array of EDGE_DTYPE
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_edges(cls, edges: np.ndarray, n_vertices: int) -> "SimilarityGraph":
+        """Build from an edge record array (duplicates and self-loops removed)."""
+        edges = np.asarray(edges, dtype=EDGE_DTYPE)
+        if edges.size:
+            rows = np.minimum(edges["row"], edges["col"])
+            cols = np.maximum(edges["row"], edges["col"])
+            canon = edges.copy()
+            canon["row"] = rows
+            canon["col"] = cols
+            canon = canon[rows != cols]
+            # deduplicate unordered pairs, keeping the first occurrence
+            keys = canon["row"] * np.int64(n_vertices) + canon["col"]
+            _, first = np.unique(keys, return_index=True)
+            canon = canon[np.sort(first)]
+            order = np.lexsort((canon["col"], canon["row"]))
+            edges = canon[order]
+        return cls(n_vertices=n_vertices, edges=edges)
+
+    @classmethod
+    def empty(cls, n_vertices: int) -> "SimilarityGraph":
+        """A graph with no edges."""
+        return cls(n_vertices=n_vertices, edges=np.zeros(0, dtype=EDGE_DTYPE))
+
+    # ------------------------------------------------------------------ basic queries
+    @property
+    def num_edges(self) -> int:
+        """Number of similar pairs."""
+        return int(self.edges.size)
+
+    def edge_pairs(self) -> np.ndarray:
+        """An ``(m, 2)`` array of (row, col) with ``row < col``."""
+        out = np.empty((self.num_edges, 2), dtype=np.int64)
+        out[:, 0] = self.edges["row"]
+        out[:, 1] = self.edges["col"]
+        return out
+
+    def edge_key_set(self) -> set[tuple[int, int]]:
+        """Set of unordered pairs — used to compare runs for exact equality."""
+        return {(int(r), int(c)) for r, c in self.edge_pairs()}
+
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees."""
+        deg = np.zeros(self.n_vertices, dtype=np.int64)
+        if self.num_edges:
+            np.add.at(deg, self.edges["row"], 1)
+            np.add.at(deg, self.edges["col"], 1)
+        return deg
+
+    # ------------------------------------------------------------------ conversions
+    def to_coo(self) -> CooMatrix:
+        """Upper-triangular adjacency as a COO matrix of ANI values."""
+        return CooMatrix(
+            (self.n_vertices, self.n_vertices),
+            self.edges["row"].astype(np.int64),
+            self.edges["col"].astype(np.int64),
+            self.edges["ani"].astype(np.float64),
+            check=False,
+        )
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` with edge attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_vertices))
+        for edge in self.edges:
+            graph.add_edge(
+                int(edge["row"]),
+                int(edge["col"]),
+                score=int(edge["score"]),
+                ani=float(edge["ani"]),
+                coverage=float(edge["coverage"]),
+            )
+        return graph
+
+    def connected_components(self) -> np.ndarray:
+        """Component label per vertex (protein-family clustering)."""
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        if self.num_edges == 0:
+            return np.arange(self.n_vertices, dtype=np.int64)
+        rows = np.concatenate([self.edges["row"], self.edges["col"]])
+        cols = np.concatenate([self.edges["col"], self.edges["row"]])
+        data = np.ones(rows.size, dtype=np.int8)
+        adj = csr_matrix((data, (rows, cols)), shape=(self.n_vertices, self.n_vertices))
+        _, labels = connected_components(adj, directed=False)
+        return labels.astype(np.int64)
+
+    # ------------------------------------------------------------------ IO
+    def write_triples(self, path: str | os.PathLike, names: np.ndarray | None = None) -> int:
+        """Write the graph as text triplets; returns bytes written.
+
+        Columns: sequence-i, sequence-j, ANI, coverage, score — the "triplets
+        whose entries indicate two sequences and the similarity between them"
+        of §V-B.
+        """
+        path = Path(path)
+        with path.open("w") as handle:
+            for edge in self.edges:
+                i, j = int(edge["row"]), int(edge["col"])
+                label_i = str(names[i]) if names is not None else str(i)
+                label_j = str(names[j]) if names is not None else str(j)
+                handle.write(
+                    f"{label_i}\t{label_j}\t{edge['ani']:.4f}\t{edge['coverage']:.4f}\t{int(edge['score'])}\n"
+                )
+        return path.stat().st_size
+
+    @classmethod
+    def read_triples(cls, path: str | os.PathLike, n_vertices: int) -> "SimilarityGraph":
+        """Read a triplet file written with numeric vertex ids."""
+        path = Path(path)
+        rows, cols, anis, covs, scores = [], [], [], [], []
+        with path.open("r") as handle:
+            for line in handle:
+                parts = line.rstrip("\n").split("\t")
+                if len(parts) < 5:
+                    continue
+                rows.append(int(parts[0]))
+                cols.append(int(parts[1]))
+                anis.append(float(parts[2]))
+                covs.append(float(parts[3]))
+                scores.append(int(parts[4]))
+        edges = np.zeros(len(rows), dtype=EDGE_DTYPE)
+        edges["row"] = rows
+        edges["col"] = cols
+        edges["ani"] = anis
+        edges["coverage"] = covs
+        edges["score"] = scores
+        return cls.from_edges(edges, n_vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimilarityGraph):
+            return NotImplemented
+        return (
+            self.n_vertices == other.n_vertices
+            and self.edge_key_set() == other.edge_key_set()
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimilarityGraph(n_vertices={self.n_vertices}, num_edges={self.num_edges})"

@@ -1,0 +1,38 @@
+"""2D-distributed sparse matrices and the (Blocked) Sparse SUMMA algorithms.
+
+This is the distributed-memory layer of the reproduction, playing the role
+CombBLAS plays for PASTIS:
+
+* :mod:`repro.distsparse.distmat` — a sparse matrix partitioned into
+  rectangular blocks over the square process grid (one local
+  :class:`repro.sparse.coo.CooMatrix` per virtual rank);
+* :mod:`repro.distsparse.distribute` — partitioning triplets / sequences to
+  the grid, with the distribution traffic charged as an all-to-all;
+* :mod:`repro.distsparse.summa` — the 2D Sparse SUMMA SpGEMM of Buluç &
+  Gilbert, with row/column broadcasts charged per stage;
+* :mod:`repro.distsparse.blocked_summa` — the paper's **Blocked 2D Sparse
+  SUMMA** (§VI-A): the output matrix is formed in ``br x bc`` blocks, each
+  computed by a SUMMA over the corresponding row stripe of ``A`` and column
+  stripe of ``B``, so peak memory is bounded by one output block (plus the
+  stripes) instead of the whole overlap matrix;
+* :mod:`repro.distsparse.gather` — gathering distributed results back to a
+  single COO matrix.
+"""
+
+from .distmat import DistSparseMatrix
+from .distribute import distribute_coo, distribute_sequences
+from .summa import summa, SummaResult
+from .blocked_summa import BlockedSpGemm, BlockSchedule, OutputBlock
+from .gather import gather_to_root
+
+__all__ = [
+    "DistSparseMatrix",
+    "distribute_coo",
+    "distribute_sequences",
+    "summa",
+    "SummaResult",
+    "BlockedSpGemm",
+    "BlockSchedule",
+    "OutputBlock",
+    "gather_to_root",
+]

@@ -1,0 +1,46 @@
+"""Gathering distributed results.
+
+The similarity graph is normally written straight to disk with parallel IO
+(each rank writes its own edges), but validation tests and small runs want
+the merged result in memory; :func:`gather_to_root` models the gather
+communication and returns the merged COO matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.communicator import SimCommunicator
+from ..sparse.coo import CooMatrix
+from ..sparse.semiring import Semiring
+
+
+def gather_to_root(
+    per_rank: list[CooMatrix],
+    shape: tuple[int, int],
+    comm: SimCommunicator,
+    semiring: Semiring | None = None,
+    root: int = 0,
+) -> CooMatrix:
+    """Gather per-rank COO pieces (global coordinates) onto the root rank.
+
+    The gather is charged as a tree reduction on the collective engine; the
+    merged matrix (duplicates combined with ``semiring`` if given) is
+    returned.
+    """
+    if len(per_rank) != comm.size:
+        raise ValueError("need exactly one piece per rank")
+    payload = {rank: per_rank[rank] for rank in range(comm.size)}
+    comm.collectives.reduce(payload, lambda x, y: x, root=root)
+
+    parts = [m for m in per_rank if m.nnz]
+    if not parts:
+        dtype = per_rank[0].dtype if per_rank else np.int8
+        return CooMatrix.empty(shape, dtype=dtype)
+    rows = np.concatenate([m.rows for m in parts])
+    cols = np.concatenate([m.cols for m in parts])
+    values = np.concatenate([m.values for m in parts])
+    merged = CooMatrix(shape, rows, cols, values, check=False)
+    if semiring is not None:
+        return merged.deduplicate(semiring)
+    return merged.sort_rowmajor()

@@ -1,0 +1,29 @@
+"""Hardware models: Summit-like nodes, GPUs, and the cluster/network.
+
+The reproduction cannot run on Summit (4608 IBM AC922 nodes, 2×22-core
+POWER9 + 6×V100 per node, dual-rail EDR InfiniBand fat tree), so these specs
+feed two things instead:
+
+* the **simulated runtime** (:mod:`repro.mpi`) uses the network parameters for
+  its alpha-beta communication cost model and the node parameters to decide
+  how many CPU threads / simulated GPU workers a virtual rank gets;
+* the **analytic performance model** (:mod:`repro.perfmodel`) uses the GPU
+  throughput (GCUPS) and CPU sparse throughput to project paper-scale runs.
+"""
+
+from .gpu import GpuSpec, V100
+from .node import NodeSpec, SUMMIT_NODE
+from .topology import NetworkSpec, SUMMIT_NETWORK
+from .cluster import ClusterSpec, SUMMIT, summit_subset
+
+__all__ = [
+    "GpuSpec",
+    "V100",
+    "NodeSpec",
+    "SUMMIT_NODE",
+    "NetworkSpec",
+    "SUMMIT_NETWORK",
+    "ClusterSpec",
+    "SUMMIT",
+    "summit_subset",
+]

@@ -1,0 +1,75 @@
+"""Cluster model: a set of nodes plus a network and a parallel file system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .node import NodeSpec, SUMMIT_NODE
+from .topology import NetworkSpec, SUMMIT_NETWORK
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster.
+
+    Attributes
+    ----------
+    nodes:
+        Number of compute nodes available.
+    node:
+        Per-node spec.
+    network:
+        Interconnect spec.
+    filesystem_gbps:
+        Aggregate parallel-filesystem bandwidth in GB/s (Summit's Alpine GPFS
+        delivers ~2.5 TB/s peak; PASTIS uses parallel MPI-IO against it).
+    filesystem_latency_s:
+        Per-operation file system latency.
+    """
+
+    name: str = "summit"
+    nodes: int = 4608
+    node: NodeSpec = field(default_factory=lambda: SUMMIT_NODE)
+    network: NetworkSpec = field(default_factory=lambda: SUMMIT_NETWORK)
+    filesystem_gbps: float = 2500.0
+    filesystem_latency_s: float = 1.0e-3
+
+    @property
+    def total_gpus(self) -> int:
+        """Total accelerators in the cluster."""
+        return self.nodes * self.node.gpus_per_node
+
+    @property
+    def total_cores(self) -> int:
+        """Total usable CPU cores in the cluster."""
+        return self.nodes * self.node.cores
+
+    def io_seconds(self, nbytes: int, nodes_used: int | None = None) -> float:
+        """Modelled parallel-IO time for reading/writing ``nbytes``.
+
+        Bandwidth scales with the number of participating nodes up to the file
+        system's aggregate limit (each node can inject at roughly its network
+        injection bandwidth).
+        """
+        nodes_used = self.nodes if nodes_used is None else nodes_used
+        per_node_gbps = min(self.network.injection_gbps, 5.0)  # GPFS client-side cap
+        achievable = min(self.filesystem_gbps, nodes_used * per_node_gbps)
+        return self.filesystem_latency_s + nbytes / (achievable * 1e9)
+
+
+#: The full Summit system.
+SUMMIT = ClusterSpec()
+
+
+def summit_subset(nodes: int) -> ClusterSpec:
+    """A Summit allocation of ``nodes`` nodes (e.g. 3364 for the production run)."""
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    return ClusterSpec(
+        name=f"summit-{nodes}",
+        nodes=nodes,
+        node=SUMMIT.node,
+        network=SUMMIT.network,
+        filesystem_gbps=SUMMIT.filesystem_gbps,
+        filesystem_latency_s=SUMMIT.filesystem_latency_s,
+    )

@@ -1,0 +1,69 @@
+"""GPU device model.
+
+ADEPT on a V100 sustains on the order of tens of GCUPS (billions of DP cell
+updates per second) for protein Smith–Waterman; the paper's production run
+reports a peak of 176.3 TCUPS over 20,184 GPUs, i.e. ~8.7 GCUPS per GPU
+sustained across the whole run.  The :class:`GpuSpec` captures that
+throughput plus the batching overheads (host-device transfer, kernel launch)
+so the simulated ADEPT driver can attribute a realistic *modelled* kernel
+time to each batch while the actual computation runs on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Throughput model of one GPU used for batched alignment.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    gcups:
+        Sustained giga cell-updates per second of the Smith–Waterman kernel.
+    memory_gb:
+        Device memory (bounds the batch size the driver may form).
+    transfer_gbps:
+        Host-to-device bandwidth in GB/s (PCIe/NVLink), used for the batch
+        packing/transfer overhead.
+    kernel_launch_us:
+        Fixed per-batch overhead in microseconds.
+    """
+
+    name: str = "V100"
+    gcups: float = 9.0
+    memory_gb: float = 16.0
+    transfer_gbps: float = 50.0
+    kernel_launch_us: float = 20.0
+
+    def kernel_seconds(self, cells: int) -> float:
+        """Modelled forward-scoring kernel time for ``cells`` DP cell updates."""
+        return cells / (self.gcups * 1e9)
+
+    def transfer_seconds(self, bytes_moved: int) -> float:
+        """Modelled host-device transfer time."""
+        return bytes_moved / (self.transfer_gbps * 1e9)
+
+    def batch_seconds(self, cells: int, bytes_moved: int) -> float:
+        """Total modelled time for one batch (launch + transfer + kernel)."""
+        return (
+            self.kernel_launch_us * 1e-6
+            + self.transfer_seconds(bytes_moved)
+            + self.kernel_seconds(cells)
+        )
+
+
+#: NVIDIA Tesla V100 as found on Summit (6 per node, NVLink-attached).  The
+#: production run sustains ~8.7 GCUPS per GPU end to end (176.3 TCUPS over
+#: 20,184 GPUs); 10.0 here is the kernel-only rate before the imbalance and
+#: pre-blocking contention factors the models apply on top.
+V100 = GpuSpec(name="V100", gcups=10.0, memory_gb=16.0, transfer_gbps=50.0, kernel_launch_us=20.0)
+
+#: A hypothetical Hopper-class GPU with DPX instructions (§IX of the paper
+#: projects up to 40x speedup of the alignment kernel).
+HOPPER_DPX = GpuSpec(
+    name="H100-DPX", gcups=9.0 * 40.0, memory_gb=80.0, transfer_gbps=200.0, kernel_launch_us=15.0
+)

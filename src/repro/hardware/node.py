@@ -1,0 +1,57 @@
+"""Compute-node model (Summit AC922-like)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gpu import GpuSpec, V100
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Attributes
+    ----------
+    cores:
+        Usable CPU cores per node (the paper uses 42 of the 44 SMT-1 cores,
+        leaving 2 for the OS).
+    cpu_memory_gb:
+        Host memory per node.
+    gpus_per_node:
+        Number of accelerators.
+    gpu:
+        GPU spec.
+    sparse_gflops:
+        Effective throughput of memory-bound semiring SpGEMM in "giga useful
+        partial products"/s per node.  This is a calibrated model constant,
+        not a hardware peak: it folds in the hash/merge memory traffic and is
+        set so the functional pipeline's align:sparse time ratio on the small
+        synthetic workloads resembles the paper's ~2:1 (the paper-scale
+        projection uses its own calibrated rate, see
+        :class:`repro.perfmodel.analytic.AnalyticModel`).
+    memory_bandwidth_gbps:
+        Aggregate host memory bandwidth, the real limiter of SpGEMM.
+    """
+
+    name: str = "AC922"
+    cores: int = 42
+    cpu_memory_gb: float = 512.0
+    gpus_per_node: int = 6
+    gpu: GpuSpec = field(default_factory=lambda: V100)
+    sparse_gflops: float = 0.5
+    memory_bandwidth_gbps: float = 340.0
+
+    @property
+    def total_gpu_memory_gb(self) -> float:
+        """Aggregate accelerator memory on the node."""
+        return self.gpus_per_node * self.gpu.memory_gb
+
+    @property
+    def node_gcups(self) -> float:
+        """Aggregate alignment throughput of all GPUs on the node."""
+        return self.gpus_per_node * self.gpu.gcups
+
+
+#: Summit node: 2x22-core POWER9 (42 usable), 512 GB, 6x V100.
+SUMMIT_NODE = NodeSpec()

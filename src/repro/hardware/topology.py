@@ -1,0 +1,74 @@
+"""Interconnect model: alpha-beta parameters and a fat-tree bisection model.
+
+The paper analyses SUMMA communication with the classic alpha-beta model
+(message startup latency ``alpha`` and per-word transfer time ``beta``) and
+notes that Summit's dual-rail EDR InfiniBand non-blocking fat tree keeps the
+collectives from becoming the bottleneck.  These parameters feed both the
+simulated collectives in :mod:`repro.mpi.collectives` and the analytic cost
+formulas in :mod:`repro.perfmodel.analytic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network cost-model parameters.
+
+    Attributes
+    ----------
+    alpha_s:
+        Message startup latency in seconds.
+    beta_s_per_byte:
+        Per-byte transfer time in seconds (inverse of per-link injection
+        bandwidth).
+    injection_gbps:
+        Per-node injection bandwidth in GB/s (dual-rail EDR = ~25 GB/s).
+    bisection_factor:
+        Fraction of full bisection bandwidth available (1.0 for a
+        non-blocking fat tree).
+    """
+
+    name: str = "summit-ib-fat-tree"
+    alpha_s: float = 2.0e-6
+    beta_s_per_byte: float = 1.0 / 25e9
+    injection_gbps: float = 25.0
+    bisection_factor: float = 1.0
+
+    def point_to_point_seconds(self, nbytes: int) -> float:
+        """Cost of a single point-to-point message."""
+        return self.alpha_s + nbytes * self.beta_s_per_byte
+
+    def tree_broadcast_seconds(self, nbytes: int, participants: int) -> float:
+        """Cost of a binomial-tree broadcast among ``participants`` ranks.
+
+        This is the ``(alpha + beta*s) * log2(p)`` term used in the paper's
+        SUMMA cost expression.
+        """
+        if participants <= 1:
+            return 0.0
+        stages = float(np.ceil(np.log2(participants)))
+        return stages * (self.alpha_s + nbytes * self.beta_s_per_byte)
+
+    def allgather_seconds(self, nbytes_per_rank: int, participants: int) -> float:
+        """Cost of a ring allgather (bandwidth-dominated)."""
+        if participants <= 1:
+            return 0.0
+        return (participants - 1) * (
+            self.alpha_s + nbytes_per_rank * self.beta_s_per_byte
+        )
+
+    def alltoallv_seconds(self, total_bytes_sent: int, participants: int) -> float:
+        """Cost of a personalized all-to-all (pairwise exchange model)."""
+        if participants <= 1:
+            return 0.0
+        per_partner = total_bytes_sent / max(participants - 1, 1)
+        return (participants - 1) * (self.alpha_s + per_partner * self.beta_s_per_byte)
+
+
+#: Summit dual-rail EDR InfiniBand, non-blocking fat tree.
+SUMMIT_NETWORK = NetworkSpec()

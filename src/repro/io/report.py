@@ -1,0 +1,47 @@
+"""Run reports: JSON serialization of statistics and benchmark series."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.stats import SearchStats
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert NumPy scalars/arrays so the structure is JSON serializable."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """A flat, JSON-serializable report of one run."""
+    report = _jsonable(stats.as_dict())
+    if extra:
+        report.update(_jsonable(extra))
+    return report
+
+
+def save_json(data: Any, path: str | os.PathLike) -> None:
+    """Write a JSON document (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(data), indent=2, sort_keys=True))
+
+
+def load_json(path: str | os.PathLike) -> Any:
+    """Read a JSON document."""
+    return json.loads(Path(path).read_text())

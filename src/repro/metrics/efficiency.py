@@ -1,0 +1,38 @@
+"""Parallel-scaling metrics: speedup, strong- and weak-scaling efficiency."""
+
+from __future__ import annotations
+
+
+def speedup(base_time: float, time_at_scale: float, base_units: float, units_at_scale: float) -> float:
+    """Speedup relative to the base configuration, normalized by resource units.
+
+    ``speedup = (base_time / time_at_scale)`` — the resource counts are used
+    by the efficiency helpers below.
+    """
+    if time_at_scale <= 0:
+        return 0.0
+    del base_units, units_at_scale
+    return base_time / time_at_scale
+
+
+def parallel_efficiency(
+    base_time: float, time_at_scale: float, base_units: float, units_at_scale: float
+) -> float:
+    """Strong-scaling parallel efficiency in [0, 1]:
+
+    ``(base_time / time_at_scale) / (units_at_scale / base_units)``.
+    """
+    if time_at_scale <= 0 or units_at_scale <= 0 or base_units <= 0:
+        return 0.0
+    return (base_time / time_at_scale) / (units_at_scale / base_units)
+
+
+def weak_scaling_efficiency(base_time: float, time_at_scale: float) -> float:
+    """Weak-scaling efficiency: base time over time at scale (ideal = 1.0).
+
+    The problem size per processor is held constant, so the runtime would
+    ideally stay flat.
+    """
+    if time_at_scale <= 0:
+        return 0.0
+    return base_time / time_at_scale

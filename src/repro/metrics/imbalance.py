@@ -1,0 +1,17 @@
+"""Load-imbalance statistics (the min/avg/max bars of Fig. 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.costmodel import TimeBreakdown
+
+
+def imbalance_stats(per_rank_values: np.ndarray | list[float]) -> TimeBreakdown:
+    """Min/avg/max of a per-rank metric (aligned pairs, DP cells, seconds...)."""
+    return TimeBreakdown.from_values(per_rank_values)
+
+
+def imbalance_percent(per_rank_values: np.ndarray | list[float]) -> float:
+    """The paper's imbalance metric: ``(max/avg - 1) * 100`` percent."""
+    return imbalance_stats(per_rank_values).imbalance_percent

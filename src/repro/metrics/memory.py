@@ -1,0 +1,55 @@
+"""Memory accounting.
+
+The paper's central constraint is memory: the unblocked overlap matrix of
+even a 20M-sequence search does not fit on 100 Summit nodes (Fig. 5 caption
+notes the single-block search "could not be performed on fewer nodes").  The
+tracker records the peak bytes held per component so the blocking/memory
+trade-off can be reported and asserted on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class MemoryTracker:
+    """Tracks current and peak bytes per named component."""
+
+    def __init__(self) -> None:
+        self._current: dict[str, int] = defaultdict(int)
+        self._peak: dict[str, int] = defaultdict(int)
+
+    def allocate(self, component: str, nbytes: int) -> None:
+        """Record an allocation."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self._current[component] += nbytes
+        self._peak[component] = max(self._peak[component], self._current[component])
+
+    def release(self, component: str, nbytes: int) -> None:
+        """Record a release (clamped at zero)."""
+        self._current[component] = max(0, self._current[component] - nbytes)
+
+    def set_usage(self, component: str, nbytes: int) -> None:
+        """Set the current usage of a component directly."""
+        if nbytes < 0:
+            raise ValueError("usage must be non-negative")
+        self._current[component] = nbytes
+        self._peak[component] = max(self._peak[component], nbytes)
+
+    def current(self, component: str) -> int:
+        """Current bytes of a component."""
+        return self._current[component]
+
+    def peak(self, component: str) -> int:
+        """Peak bytes of a component."""
+        return self._peak[component]
+
+    def peak_total(self) -> int:
+        """Peak of the *sum* is not tracked; this returns the sum of peaks
+        (a safe upper bound on the true peak)."""
+        return sum(self._peak.values())
+
+    def summary(self) -> dict[str, int]:
+        """Peak bytes per component."""
+        return dict(sorted(self._peak.items()))

@@ -1,0 +1,154 @@
+"""Per-rank cost accounting.
+
+Every virtual rank accumulates time into named categories ("align",
+"spgemm", "sparse_other", "comm", "cwait", "io", ...).  The paper's reported
+metrics map directly onto this ledger:
+
+* component time breakdowns (Fig. 5, Fig. 7d, Table I, Table IV) — the
+  per-category maximum over ranks (bulk-synchronous execution finishes when
+  the slowest rank does);
+* load imbalance (Fig. 7a-c, Table IV "Imbalance %") — min/avg/max over
+  ranks of a category or metric;
+* communication-wait and IO percentages (Table II) — category time divided
+  by total time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TimeBreakdown:
+    """Min/avg/max of a per-rank quantity, plus the paper's imbalance metric."""
+
+    minimum: float
+    average: float
+    maximum: float
+
+    @property
+    def imbalance_percent(self) -> float:
+        """Load imbalance as ``(max / avg - 1) * 100`` (0 for perfectly balanced)."""
+        if self.average <= 0:
+            return 0.0
+        return (self.maximum / self.average - 1.0) * 100.0
+
+    @classmethod
+    def from_values(cls, values: np.ndarray | list[float]) -> "TimeBreakdown":
+        """Build from a per-rank vector."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return cls(0.0, 0.0, 0.0)
+        return cls(float(arr.min()), float(arr.mean()), float(arr.max()))
+
+
+class CostLedger:
+    """Accumulates per-rank, per-category time (simulated or measured seconds)."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self._time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
+        self._counters: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
+
+    # ------------------------------------------------------------------ charging
+    def charge(self, rank: int, category: str, seconds: float) -> None:
+        """Add ``seconds`` of ``category`` time to one rank."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._time[category][rank] += seconds
+
+    def charge_all(self, category: str, seconds: float | np.ndarray) -> None:
+        """Add time to every rank (scalar, or one value per rank)."""
+        arr = np.broadcast_to(np.asarray(seconds, dtype=np.float64), (self.nranks,))
+        if (arr < 0).any():
+            raise ValueError("cannot charge negative time")
+        self._time[category] = self._time[category] + arr
+
+    def count(self, rank: int, counter: str, amount: float = 1.0) -> None:
+        """Increment a per-rank counter (e.g. alignments, flops, bytes sent)."""
+        self._check_rank(rank)
+        self._counters[counter][rank] += amount
+
+    def count_all(self, counter: str, amounts: np.ndarray | float) -> None:
+        """Increment a counter on every rank."""
+        arr = np.broadcast_to(np.asarray(amounts, dtype=np.float64), (self.nranks,))
+        self._counters[counter] = self._counters[counter] + arr
+
+    # ------------------------------------------------------------------ queries
+    def per_rank(self, category: str) -> np.ndarray:
+        """Per-rank time vector for a category (zeros if never charged)."""
+        return self._time[category].copy()
+
+    def counter_per_rank(self, counter: str) -> np.ndarray:
+        """Per-rank counter vector."""
+        return self._counters[counter].copy()
+
+    def counter_total(self, counter: str) -> float:
+        """Sum of a counter over ranks."""
+        return float(self._counters[counter].sum())
+
+    def categories(self) -> list[str]:
+        """Names of all charged time categories."""
+        return sorted(self._time.keys())
+
+    def breakdown(self, category: str) -> TimeBreakdown:
+        """Min/avg/max of a category over ranks."""
+        return TimeBreakdown.from_values(self._time[category])
+
+    def component_time(self, category: str) -> float:
+        """Bulk-synchronous component time: the maximum over ranks."""
+        return float(self._time[category].max()) if category in self._time else 0.0
+
+    def total_per_rank(self, exclude: tuple[str, ...] = ()) -> np.ndarray:
+        """Sum over categories per rank, excluding the given categories."""
+        total = np.zeros(self.nranks)
+        for cat, values in self._time.items():
+            if cat not in exclude:
+                total += values
+        return total
+
+    def total_time(self, exclude: tuple[str, ...] = ()) -> float:
+        """Bulk-synchronous total runtime (max over ranks of the category sum)."""
+        return float(self.total_per_rank(exclude=exclude).max())
+
+    def percentage(self, category: str, exclude: tuple[str, ...] = ()) -> float:
+        """Share of a category in the total runtime, in percent."""
+        total = self.total_time(exclude=exclude)
+        if total <= 0:
+            return 0.0
+        return 100.0 * self.component_time(category) / total
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Combine two ledgers over the same rank count (times add up)."""
+        if other.nranks != self.nranks:
+            raise ValueError("cannot merge ledgers with different rank counts")
+        merged = CostLedger(self.nranks)
+        for cat, values in self._time.items():
+            merged._time[cat] = values.copy()
+        for cat, values in other._time.items():
+            merged._time[cat] = merged._time[cat] + values
+        for cnt, values in self._counters.items():
+            merged._counters[cnt] = values.copy()
+        for cnt, values in other._counters.items():
+            merged._counters[cnt] = merged._counters[cnt] + values
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """Component times (max over ranks) for every category plus the total."""
+        out = {cat: self.component_time(cat) for cat in self.categories()}
+        out["total"] = self.total_time()
+        return out
+
+    # ------------------------------------------------------------------ helpers
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range for {self.nranks} ranks")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostLedger(nranks={self.nranks}, categories={self.categories()})"

@@ -1,0 +1,72 @@
+"""Calibration of workload profiles from measured pipeline runs.
+
+The analytic model needs dataset-dependent coefficients — how many candidate
+pairs, alignments, DP cells and SpGEMM flops a dataset of ``n`` sequences
+generates.  Rather than copying those from the paper, they are *measured* on
+a small synthetic run of the actual pipeline and extrapolated with the same
+quadratic/linear growth rules the paper uses, so the projection is anchored
+in the reproduction's own behaviour (and changes when the pipeline changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import SearchResult
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CalibrationCoefficients:
+    """Per-dataset-size coefficients extracted from a measured run.
+
+    All "per_pair" quantities are normalized by ``n_sequences**2`` (quadratic
+    growth); "per_sequence" quantities by ``n_sequences`` (linear growth).
+    """
+
+    candidates_per_pair: float
+    alignments_per_pair: float
+    output_per_pair: float
+    cells_per_alignment: float
+    flops_per_candidate: float
+    kmer_nnz_per_sequence: float
+    avg_length: float
+
+    def profile_for(self, n_sequences: float, num_blocks: int = 64) -> WorkloadProfile:
+        """Build a workload profile for a dataset of ``n_sequences``."""
+        pairs = float(n_sequences) ** 2
+        candidates = self.candidates_per_pair * pairs
+        alignments = self.alignments_per_pair * pairs
+        return WorkloadProfile(
+            n_sequences=float(n_sequences),
+            avg_length=self.avg_length,
+            candidates=candidates,
+            alignments=alignments,
+            cells=alignments * self.cells_per_alignment,
+            spgemm_flops=candidates * self.flops_per_candidate,
+            kmer_nnz=self.kmer_nnz_per_sequence * n_sequences,
+            output_pairs=self.output_per_pair * pairs,
+            num_blocks=num_blocks,
+        )
+
+
+def calibrate_profile(result: SearchResult) -> CalibrationCoefficients:
+    """Extract calibration coefficients from a completed pipeline run."""
+    stats = result.stats
+    n = max(stats.n_sequences, 1)
+    pairs = float(n) ** 2
+    alignments = max(stats.alignments_performed, 1)
+    candidates = max(stats.candidates_discovered, 1)
+    lengths = None
+    avg_length = stats.extras.get("avg_length", 0.0)
+    if not avg_length:
+        avg_length = result.kmer_info.kmer_occurrences / n + result.params.kmer_length - 1
+    return CalibrationCoefficients(
+        candidates_per_pair=candidates / pairs,
+        alignments_per_pair=alignments / pairs,
+        output_per_pair=stats.similar_pairs / pairs,
+        cells_per_alignment=stats.alignment_cells / alignments,
+        flops_per_candidate=max(stats.spgemm_flops, 1) / candidates,
+        kmer_nnz_per_sequence=result.kmer_info.nnz / n,
+        avg_length=float(avg_length),
+    )

@@ -1,0 +1,133 @@
+"""Strong- and weak-scaling series generation (Fig. 8, Fig. 9, Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .analytic import AnalyticModel, ComponentTimes
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node count of a scaling series, with per-component efficiencies."""
+
+    nodes: int
+    times: ComponentTimes
+    speedup_total: float
+    efficiency_total: float
+    efficiency_per_component: dict[str, float]
+    n_sequences: float
+    alignments: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat record for tables/JSON."""
+        out = {
+            "nodes": self.nodes,
+            "n_sequences": self.n_sequences,
+            "alignments": self.alignments,
+            "speedup_total": self.speedup_total,
+            "efficiency_total": self.efficiency_total,
+        }
+        out.update({f"time_{k}": v for k, v in self.times.as_dict().items() if k != "nodes"})
+        out.update({f"eff_{k}": v for k, v in self.efficiency_per_component.items()})
+        return out
+
+
+_COMPONENTS = ("align", "spgemm", "sparse_all", "io", "total")
+
+
+def _component_value(times: ComponentTimes, name: str) -> float:
+    return {
+        "align": times.align,
+        "spgemm": times.spgemm,
+        "sparse_all": times.sparse_all,
+        "io": times.io,
+        "total": times.total,
+    }[name]
+
+
+def strong_scaling_series(
+    profile: WorkloadProfile,
+    node_counts: list[int],
+    model: AnalyticModel,
+) -> list[ScalingPoint]:
+    """Fixed problem size, increasing node counts (Fig. 8).
+
+    Efficiencies are relative to the smallest node count in the list.
+    """
+    if not node_counts:
+        return []
+    node_counts = sorted(node_counts)
+    base_nodes = node_counts[0]
+    base_times = model.component_times(profile, base_nodes)
+    points = []
+    for nodes in node_counts:
+        times = model.component_times(profile, nodes)
+        speedup = base_times.total / times.total if times.total > 0 else 0.0
+        ideal = nodes / base_nodes
+        eff = {}
+        for comp in _COMPONENTS:
+            base_val = _component_value(base_times, comp)
+            val = _component_value(times, comp)
+            eff[comp] = (base_val / val) / ideal if val > 0 and ideal > 0 else 0.0
+        points.append(
+            ScalingPoint(
+                nodes=nodes,
+                times=times,
+                speedup_total=speedup,
+                efficiency_total=eff["total"],
+                efficiency_per_component=eff,
+                n_sequences=profile.n_sequences,
+                alignments=profile.alignments,
+            )
+        )
+    return points
+
+
+def weak_scaling_series(
+    base_profile: WorkloadProfile,
+    node_counts: list[int],
+    model: AnalyticModel,
+    base_nodes: int | None = None,
+) -> list[ScalingPoint]:
+    """Work per node held constant: sequences grow with sqrt(nodes) (Fig. 9).
+
+    Because alignments (and most sparse flops) grow quadratically with the
+    sequence count, scaling sequences by ``sqrt(x)`` when nodes scale by ``x``
+    keeps the per-node workload fixed — exactly the paper's §VIII-B setup
+    (20M sequences at 25 nodes up to 112M at 784).
+    """
+    if not node_counts:
+        return []
+    node_counts = sorted(node_counts)
+    if base_nodes is None:
+        base_nodes = node_counts[0]
+    base_scaled = base_profile.scaled_to(
+        base_profile.n_sequences * np.sqrt(base_nodes / node_counts[0])
+    )
+    base_times = model.component_times(base_scaled, base_nodes)
+    points = []
+    for nodes in node_counts:
+        n_sequences = base_profile.n_sequences * np.sqrt(nodes / base_nodes)
+        profile = base_profile.scaled_to(n_sequences)
+        times = model.component_times(profile, nodes)
+        eff = {}
+        for comp in _COMPONENTS:
+            base_val = _component_value(base_times, comp)
+            val = _component_value(times, comp)
+            eff[comp] = base_val / val if val > 0 else 0.0
+        points.append(
+            ScalingPoint(
+                nodes=nodes,
+                times=times,
+                speedup_total=base_times.total / times.total if times.total else 0.0,
+                efficiency_total=eff["total"],
+                efficiency_per_component=eff,
+                n_sequences=n_sequences,
+                alignments=profile.alignments,
+            )
+        )
+    return points

@@ -1,0 +1,46 @@
+"""Sequence substrate: alphabets, packed sequence sets, FASTA I/O, k-mers.
+
+This subpackage provides everything PASTIS needs on the "biology" side:
+
+* :mod:`repro.sequences.alphabet` — the 20-letter amino-acid alphabet and
+  reduced alphabets (Murphy-10 etc.) used to improve sensitivity;
+* :mod:`repro.sequences.sequence` — :class:`SequenceSet`, a packed
+  (concatenated ``uint8`` codes + offsets) container designed for
+  vectorized k-mer extraction and cheap slicing/distribution;
+* :mod:`repro.sequences.fasta` — FASTA reader/writer, including a
+  partitioned reader that mimics parallel MPI-IO input splitting;
+* :mod:`repro.sequences.kmers` — k-mer extraction, encoding and
+  substitute (nearest-neighbour) k-mer generation;
+* :mod:`repro.sequences.synthetic` — family-based synthetic metagenome
+  generator used in place of the (unavailable) 405M-protein Metaclust data;
+* :mod:`repro.sequences.distribution` — sequence-length distributions.
+"""
+
+from .alphabet import Alphabet, PROTEIN, MURPHY10, DAYHOFF6, reduced_alphabet
+from .sequence import Sequence, SequenceSet
+from .fasta import read_fasta, write_fasta, read_fasta_partitioned, FastaRecord
+from .kmers import KmerExtractor, encode_kmers, substitute_kmers
+from .synthetic import SyntheticDatasetConfig, synthetic_dataset, make_family
+from .distribution import LengthDistribution, metagenome_length_distribution
+
+__all__ = [
+    "Alphabet",
+    "PROTEIN",
+    "MURPHY10",
+    "DAYHOFF6",
+    "reduced_alphabet",
+    "Sequence",
+    "SequenceSet",
+    "read_fasta",
+    "write_fasta",
+    "read_fasta_partitioned",
+    "FastaRecord",
+    "KmerExtractor",
+    "encode_kmers",
+    "substitute_kmers",
+    "SyntheticDatasetConfig",
+    "synthetic_dataset",
+    "make_family",
+    "LengthDistribution",
+    "metagenome_length_distribution",
+]

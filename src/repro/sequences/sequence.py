@@ -1,0 +1,245 @@
+"""Packed sequence containers.
+
+A :class:`SequenceSet` stores all residues of a dataset in one contiguous
+``uint8`` array plus an offsets array, the layout used by high-performance
+sequence tools (and by ADEPT's host-side packing).  This enables
+
+* vectorized k-mer extraction with no per-sequence Python overhead,
+* O(1) slicing into per-rank / per-block subsets during distribution,
+* cheap length statistics (the basis of the paper's load-imbalance metric
+  "aligned pair lengths": the sum of DP-matrix sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence as TypingSequence
+
+import numpy as np
+
+from .alphabet import Alphabet, PROTEIN
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """A single named protein sequence (decoded, convenience object)."""
+
+    name: str
+    residues: str
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+
+class SequenceSet:
+    """An immutable packed collection of protein sequences.
+
+    Parameters
+    ----------
+    data:
+        Concatenated residue codes (``uint8``).
+    offsets:
+        ``int64`` array of length ``n+1``; sequence ``i`` occupies
+        ``data[offsets[i]:offsets[i+1]]``.
+    names:
+        Sequence identifiers (numpy object/str array or list).
+    alphabet:
+        Alphabet the codes were produced with.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        offsets: np.ndarray,
+        names: TypingSequence[str] | np.ndarray,
+        alphabet: Alphabet = PROTEIN,
+    ) -> None:
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size == 0:
+            raise ValueError("offsets must be a 1D array of length n+1")
+        if offsets[0] != 0 or offsets[-1] != data.size:
+            raise ValueError("offsets must start at 0 and end at len(data)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        names_arr = np.asarray(names, dtype=object)
+        if names_arr.size != offsets.size - 1:
+            raise ValueError("names length must match number of sequences")
+        self._data = data
+        self._offsets = offsets
+        self._names = names_arr
+        self._alphabet = alphabet
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_strings(
+        cls,
+        sequences: Iterable[str],
+        names: Iterable[str] | None = None,
+        alphabet: Alphabet = PROTEIN,
+    ) -> "SequenceSet":
+        """Build a set from residue strings."""
+        seq_list = list(sequences)
+        if names is None:
+            name_list = [f"seq{i}" for i in range(len(seq_list))]
+        else:
+            name_list = list(names)
+            if len(name_list) != len(seq_list):
+                raise ValueError("names and sequences must have equal length")
+        lengths = np.fromiter((len(s) for s in seq_list), dtype=np.int64, count=len(seq_list))
+        offsets = np.zeros(len(seq_list) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        data = np.empty(int(offsets[-1]), dtype=np.uint8)
+        for i, s in enumerate(seq_list):
+            data[offsets[i] : offsets[i + 1]] = alphabet.encode(s)
+        return cls(data, offsets, name_list, alphabet)
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Sequence], alphabet: Alphabet = PROTEIN
+    ) -> "SequenceSet":
+        """Build a set from :class:`Sequence` records."""
+        records = list(records)
+        return cls.from_strings(
+            (r.residues for r in records), (r.name for r in records), alphabet
+        )
+
+    @classmethod
+    def concatenate(cls, parts: Iterable["SequenceSet"]) -> "SequenceSet":
+        """Concatenate several sets (used when joining per-rank partitions)."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot concatenate zero SequenceSets")
+        alphabet = parts[0].alphabet
+        for p in parts:
+            if p.alphabet.name != alphabet.name:
+                raise ValueError("all parts must share the same alphabet")
+        data = np.concatenate([p._data for p in parts])
+        lengths = np.concatenate([p.lengths for p in parts])
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        names = np.concatenate([p._names for p in parts])
+        return cls(data, offsets, names, alphabet)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet used for the packed codes."""
+        return self._alphabet
+
+    @property
+    def data(self) -> np.ndarray:
+        """Concatenated residue codes (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Offsets array of length ``n+1`` (read-only view)."""
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def names(self) -> np.ndarray:
+        """Sequence identifiers."""
+        return self._names
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-sequence lengths (``int64``)."""
+        return np.diff(self._offsets)
+
+    @property
+    def total_residues(self) -> int:
+        """Total number of residues across all sequences."""
+        return int(self._data.size)
+
+    def __len__(self) -> int:
+        return self._offsets.size - 1
+
+    # ------------------------------------------------------------ access
+    def codes(self, index: int) -> np.ndarray:
+        """Packed codes of sequence ``index`` (zero-copy view)."""
+        i = self._check_index(index)
+        return self._data[self._offsets[i] : self._offsets[i + 1]]
+
+    def residues(self, index: int) -> str:
+        """Decoded residue string of sequence ``index``."""
+        return self._alphabet.decode(self.codes(index))
+
+    def record(self, index: int) -> Sequence:
+        """Return sequence ``index`` as a :class:`Sequence` record."""
+        i = self._check_index(index)
+        return Sequence(name=str(self._names[i]), residues=self.residues(i))
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    def __getitem__(self, index: int | slice | np.ndarray) -> "SequenceSet | Sequence":
+        if isinstance(index, (int, np.integer)):
+            return self.record(int(index))
+        if isinstance(index, slice):
+            idx = np.arange(len(self))[index]
+        else:
+            idx = np.asarray(index)
+            if idx.dtype == bool:
+                idx = np.flatnonzero(idx)
+        return self.subset(idx)
+
+    def subset(self, indices: np.ndarray) -> "SequenceSet":
+        """Return a new set containing the given sequence indices (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise IndexError("subset index out of range")
+        lengths = self.lengths[indices]
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        data = np.empty(int(offsets[-1]), dtype=np.uint8)
+        src_off = self._offsets
+        for out_pos, i in enumerate(indices):
+            data[offsets[out_pos] : offsets[out_pos + 1]] = self._data[
+                src_off[i] : src_off[i + 1]
+            ]
+        return SequenceSet(data, offsets, self._names[indices], self._alphabet)
+
+    def reencode(self, alphabet: Alphabet) -> "SequenceSet":
+        """Re-encode the whole set into another (typically reduced) alphabet."""
+        data = self._alphabet.project(alphabet, self._data)
+        return SequenceSet(data, self._offsets.copy(), self._names.copy(), alphabet)
+
+    # ------------------------------------------------------------ statistics
+    def length_statistics(self) -> dict[str, float]:
+        """Summary statistics of sequence lengths (used in run reports)."""
+        lengths = self.lengths
+        if lengths.size == 0:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0, "total": 0.0}
+        return {
+            "count": int(lengths.size),
+            "min": float(lengths.min()),
+            "max": float(lengths.max()),
+            "mean": float(lengths.mean()),
+            "median": float(np.median(lengths)),
+            "total": float(lengths.sum()),
+        }
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the packed representation."""
+        return int(self._data.nbytes + self._offsets.nbytes)
+
+    # ------------------------------------------------------------ helpers
+    def _check_index(self, index: int) -> int:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"sequence index {index} out of range for {n} sequences")
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SequenceSet(n={len(self)}, residues={self.total_residues}, "
+            f"alphabet={self._alphabet.name!r})"
+        )

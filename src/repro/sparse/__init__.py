@@ -1,0 +1,70 @@
+"""Local semiring sparse-matrix substrate (the CombBLAS-like layer).
+
+PASTIS stores every piece of search state in sparse matrices whose elements
+are *custom data types* (seed positions, common-k-mer counts, alignment
+scores) and manipulates them with *semirings* — user-defined multiply/add
+operators plugged into SpGEMM.  This subpackage provides that substrate for a
+single process; :mod:`repro.distsparse` layers the 2D distribution and SUMMA
+algorithms on top.
+
+Contents
+--------
+* :mod:`repro.sparse.semiring` — the semiring abstraction and the concrete
+  semirings used by the pipeline (arithmetic, boolean/count, min-plus, and
+  the overlap semiring carrying seed positions).
+* :mod:`repro.sparse.coo` / :mod:`repro.sparse.csr` /
+  :mod:`repro.sparse.dcsc` — storage formats (COO triplets, CSR, and the
+  doubly-compressed sparse column format CombBLAS uses for hypersparse
+  submatrices).
+* :mod:`repro.sparse.spgemm` — sort/expand/reduce semiring SpGEMM with
+  flop (compression-factor) accounting.
+* :mod:`repro.sparse.spops` — transpose, triangular extraction, parity
+  pruning, elementwise filtering, conversions.
+"""
+
+from .semiring import (
+    Semiring,
+    ArithmeticSemiring,
+    CountSemiring,
+    MinPlusSemiring,
+    MaxSemiring,
+    OverlapSemiring,
+    OVERLAP_DTYPE,
+)
+from .coo import CooMatrix
+from .csr import CsrMatrix
+from .dcsc import DcscMatrix
+from .spgemm import spgemm, SpGemmStats
+from .spops import (
+    transpose,
+    triu,
+    tril,
+    prune_by_parity,
+    filter_values,
+    to_scipy_csr,
+    from_scipy,
+    add_coo,
+)
+
+__all__ = [
+    "Semiring",
+    "ArithmeticSemiring",
+    "CountSemiring",
+    "MinPlusSemiring",
+    "MaxSemiring",
+    "OverlapSemiring",
+    "OVERLAP_DTYPE",
+    "CooMatrix",
+    "CsrMatrix",
+    "DcscMatrix",
+    "spgemm",
+    "SpGemmStats",
+    "transpose",
+    "triu",
+    "tril",
+    "prune_by_parity",
+    "filter_values",
+    "to_scipy_csr",
+    "from_scipy",
+    "add_coo",
+]

@@ -1,0 +1,223 @@
+"""COO (triplet) sparse matrix with arbitrary value dtypes.
+
+COO is the interchange format of the package: k-mer extraction produces
+triplets, SUMMA stages exchange triplets, and the overlap matrix blocks are
+consumed by the aligner as triplets.  Values may use any NumPy dtype,
+including the structured :data:`repro.sparse.semiring.OVERLAP_DTYPE`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CooMatrix:
+    """A sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    rows, cols:
+        ``int64`` coordinate arrays of equal length.
+    values:
+        Value array of the same length (any dtype).  If ``None``, an all-ones
+        ``int8`` pattern matrix is created.
+    sort:
+        If true, sort entries into row-major order on construction.
+    check:
+        If true (default) validate coordinates are in range.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray | None = None,
+        sort: bool = False,
+        check: bool = True,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows and cols must be 1D arrays of the same length")
+        if values is None:
+            values = np.ones(rows.size, dtype=np.int8)
+        else:
+            values = np.ascontiguousarray(values)
+            if values.shape[0] != rows.size:
+                raise ValueError("values length must match rows/cols")
+        if check and rows.size:
+            if rows.min() < 0 or rows.max() >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= self.shape[1]:
+                raise ValueError("column index out of range")
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        if sort:
+            self.sort_rowmajor()
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.rows.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype."""
+        return self.values.dtype
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int], dtype=np.int8) -> "CooMatrix":
+        """An empty matrix of the given shape and value dtype."""
+        return cls(
+            shape,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=dtype),
+            check=False,
+        )
+
+    def copy(self) -> "CooMatrix":
+        """Deep copy."""
+        return CooMatrix(
+            self.shape, self.rows.copy(), self.cols.copy(), self.values.copy(), check=False
+        )
+
+    def sort_rowmajor(self) -> "CooMatrix":
+        """Sort entries in (row, col) order in place.  Returns self."""
+        if self.nnz:
+            order = np.lexsort((self.cols, self.rows))
+            self.rows = self.rows[order]
+            self.cols = self.cols[order]
+            self.values = self.values[order]
+        return self
+
+    def sort_colmajor(self) -> "CooMatrix":
+        """Sort entries in (col, row) order in place.  Returns self."""
+        if self.nnz:
+            order = np.lexsort((self.rows, self.cols))
+            self.rows = self.rows[order]
+            self.cols = self.cols[order]
+            self.values = self.values[order]
+        return self
+
+    # ------------------------------------------------------------------ algebra helpers
+    def transpose(self) -> "CooMatrix":
+        """Return the transpose (values are shared copies)."""
+        return CooMatrix(
+            (self.shape[1], self.shape[0]),
+            self.cols.copy(),
+            self.rows.copy(),
+            self.values.copy(),
+            check=False,
+        )
+
+    def select(self, mask: np.ndarray) -> "CooMatrix":
+        """Return a new matrix keeping only entries where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.nnz:
+            raise ValueError("mask length must equal nnz")
+        return CooMatrix(
+            self.shape, self.rows[mask], self.cols[mask], self.values[mask], check=False
+        )
+
+    def submatrix(
+        self, row_range: tuple[int, int], col_range: tuple[int, int], relabel: bool = True
+    ) -> "CooMatrix":
+        """Extract the block ``[row_range) x [col_range)``.
+
+        With ``relabel=True`` (default) the block's coordinates are shifted so
+        the block starts at (0, 0) — the form needed for distributed block
+        ownership.
+        """
+        r0, r1 = row_range
+        c0, c1 = col_range
+        mask = (self.rows >= r0) & (self.rows < r1) & (self.cols >= c0) & (self.cols < c1)
+        rows = self.rows[mask]
+        cols = self.cols[mask]
+        values = self.values[mask]
+        if relabel:
+            rows = rows - r0
+            cols = cols - c0
+            shape = (r1 - r0, c1 - c0)
+        else:
+            shape = self.shape
+        return CooMatrix(shape, rows, cols, values, check=False)
+
+    def with_offset(self, row_offset: int, col_offset: int, shape: tuple[int, int]) -> "CooMatrix":
+        """Return a copy re-embedded into a larger matrix at the given offset."""
+        return CooMatrix(
+            shape,
+            self.rows + int(row_offset),
+            self.cols + int(col_offset),
+            self.values.copy(),
+            check=True,
+        )
+
+    def deduplicate(self, semiring=None) -> "CooMatrix":
+        """Merge duplicate coordinates.
+
+        Without a semiring, the *last* value wins.  With a semiring, duplicate
+        entries are combined with the semiring's additive reduce.
+        """
+        if self.nnz == 0:
+            return self.copy()
+        m = self.copy().sort_rowmajor()
+        keys_changed = np.empty(m.nnz, dtype=bool)
+        keys_changed[0] = True
+        keys_changed[1:] = (np.diff(m.rows) != 0) | (np.diff(m.cols) != 0)
+        group_starts = np.flatnonzero(keys_changed)
+        if semiring is None:
+            # last value wins: take last entry of every group
+            group_ends = np.empty(group_starts.size, dtype=np.int64)
+            group_ends[:-1] = group_starts[1:] - 1
+            group_ends[-1] = m.nnz - 1
+            return CooMatrix(
+                m.shape,
+                m.rows[group_starts],
+                m.cols[group_starts],
+                m.values[group_ends],
+                check=False,
+            )
+        values = semiring.reduce(m.values, group_starts)
+        return CooMatrix(
+            m.shape, m.rows[group_starts], m.cols[group_starts], values, check=False
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the triplet representation."""
+        return int(self.rows.nbytes + self.cols.nbytes + self.values.nbytes)
+
+    def todense(self) -> np.ndarray:
+        """Dense array (numeric dtypes only; tests/small matrices)."""
+        if self.values.dtype.names is not None:
+            raise TypeError("cannot densify a structured-dtype matrix")
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.values.astype(np.float64))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CooMatrix):
+            return NotImplemented
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        a = self.copy().sort_rowmajor()
+        b = other.copy().sort_rowmajor()
+        if not (np.array_equal(a.rows, b.rows) and np.array_equal(a.cols, b.cols)):
+            return False
+        if a.values.dtype != b.values.dtype:
+            return False
+        if a.values.dtype.names is None:
+            return bool(np.array_equal(a.values, b.values))
+        return all(np.array_equal(a.values[f], b.values[f]) for f in a.values.dtype.names)
+
+    def __hash__(self) -> int:  # CooMatrix is mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CooMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.values.dtype})"

@@ -1,0 +1,104 @@
+"""CSR (compressed sparse row) matrix with arbitrary value dtypes.
+
+CombBLAS stores local submatrices in CSC/DCSC; our SpGEMM kernel is
+sort-based and consumes COO, but CSR is used wherever row slicing is needed
+(distributing row stripes of ``A`` in the blocked SUMMA, per-sequence k-mer
+lookups, and the aligner's gather of candidate pairs by row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import CooMatrix
+
+
+class CsrMatrix:
+    """Compressed sparse row matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr:
+        ``int64`` array of length ``nrows + 1``.
+    indices:
+        Column indices per row, concatenated.
+    values:
+        Values aligned with ``indices``.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.values = np.ascontiguousarray(values)
+        if self.indptr.size != self.shape[0] + 1:
+            raise ValueError("indptr length must be nrows + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if self.values.shape[0] != self.indices.size:
+            raise ValueError("values length must equal indices length")
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype."""
+        return self.values.dtype
+
+    @classmethod
+    def from_coo(cls, coo: CooMatrix) -> "CsrMatrix":
+        """Convert from COO (entries are sorted row-major first)."""
+        m = coo.copy().sort_rowmajor()
+        counts = np.bincount(m.rows, minlength=m.shape[0])
+        indptr = np.zeros(m.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(m.shape, indptr, m.cols, m.values)
+
+    def to_coo(self) -> CooMatrix:
+        """Convert back to COO."""
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr))
+        return CooMatrix(self.shape, rows, self.indices.copy(), self.values.copy(), check=False)
+
+    # ------------------------------------------------------------------ access
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` (zero-copy views)."""
+        if not 0 <= i < self.shape[0]:
+            raise IndexError("row index out of range")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of nonzeros per row."""
+        return np.diff(self.indptr)
+
+    def row_slice(self, start: int, stop: int) -> "CsrMatrix":
+        """Extract rows ``[start, stop)`` as a new CSR matrix (rows relabelled)."""
+        start = max(0, start)
+        stop = min(self.shape[0], stop)
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = self.indptr[start : stop + 1] - lo
+        return CsrMatrix(
+            (stop - start, self.shape[1]),
+            indptr.copy(),
+            self.indices[lo:hi].copy(),
+            self.values[lo:hi].copy(),
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint."""
+        return int(self.indptr.nbytes + self.indices.nbytes + self.values.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.values.dtype})"

@@ -1,0 +1,177 @@
+"""Semiring abstraction for sparse matrix computations.
+
+A semiring supplies the "multiply" used when a nonzero of ``A`` meets a
+nonzero of ``B`` on a shared inner index, and the "add" used to combine
+multiple such products landing on the same output coordinate.  PASTIS's
+candidate discovery is exactly such an overloaded SpGEMM (Fig. 2 of the
+paper): the multiply pairs the seed positions of a k-mer in two sequences,
+and the add accumulates the common-k-mer count while retaining the first two
+seed locations for the aligner.
+
+The SpGEMM kernel in :mod:`repro.sparse.spgemm` works on *expanded* product
+arrays, so a semiring here is expressed with two vectorized hooks:
+
+``multiply(a_values, b_values) -> values``
+    Elementwise on arrays of equal length (one entry per partial product).
+
+``reduce(values, group_starts) -> values``
+    Combine partial products that share an output coordinate.  The products
+    are pre-sorted by output coordinate; ``group_starts`` gives the first
+    index of each output group (reduceat semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Structured dtype of overlap-matrix elements: number of shared k-mers and
+#: the (query, target) seed positions of the first two shared k-mers.  -1
+#: marks "no second seed".  This mirrors the custom element types sketched in
+#: Fig. 1 of the paper.
+OVERLAP_DTYPE = np.dtype(
+    [
+        ("count", np.int32),
+        ("first_pos_a", np.int32),
+        ("first_pos_b", np.int32),
+        ("second_pos_a", np.int32),
+        ("second_pos_b", np.int32),
+    ]
+)
+
+
+class Semiring:
+    """Base class for semirings.  Subclasses override the vectorized hooks."""
+
+    #: dtype of output (and intermediate product) values
+    value_dtype: np.dtype = np.dtype(np.float64)
+    #: human-readable name
+    name: str = "abstract"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        """Combine aligned arrays of A-values and B-values into product values."""
+        raise NotImplementedError
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        """Reduce contiguous groups of product values (reduceat semantics)."""
+        raise NotImplementedError
+
+    # convenience scalar API used by reference implementations / tests -----
+    def scalar_multiply(self, a, b):
+        """Scalar version of :meth:`multiply` (reference/tests only)."""
+        return self.multiply(np.array([a], dtype=None), np.array([b], dtype=None))[0]
+
+    def scalar_add(self, a, b):
+        """Scalar version of the additive combine (reference/tests only)."""
+        values = np.array([a, b], dtype=self.value_dtype)
+        return self.reduce(values, np.array([0]))[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+@dataclass
+class ArithmeticSemiring(Semiring):
+    """Conventional (+, ×) semiring over float64 — for validation against SciPy."""
+
+    value_dtype: np.dtype = np.dtype(np.float64)
+    name: str = "plus_times"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        return np.asarray(a_values, dtype=np.float64) * np.asarray(b_values, dtype=np.float64)
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        return np.add.reduceat(np.asarray(values, dtype=np.float64), group_starts)
+
+
+@dataclass
+class CountSemiring(Semiring):
+    """Counts how many partial products land on each output coordinate.
+
+    With boolean inputs this computes, for ``A·Aᵀ``, the number of shared
+    inner indices (e.g. shared k-mers) — the simplest overlap detector.
+    """
+
+    value_dtype: np.dtype = np.dtype(np.int64)
+    name: str = "count"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        return np.ones(len(a_values), dtype=np.int64)
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        return np.add.reduceat(np.asarray(values, dtype=np.int64), group_starts)
+
+
+@dataclass
+class MinPlusSemiring(Semiring):
+    """Tropical (min, +) semiring — e.g. shortest paths on the similarity graph."""
+
+    value_dtype: np.dtype = np.dtype(np.float64)
+    name: str = "min_plus"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        return np.asarray(a_values, dtype=np.float64) + np.asarray(b_values, dtype=np.float64)
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        return np.minimum.reduceat(np.asarray(values, dtype=np.float64), group_starts)
+
+
+@dataclass
+class MaxSemiring(Semiring):
+    """(max, ×) semiring — e.g. keeping the best score among parallel products."""
+
+    value_dtype: np.dtype = np.dtype(np.float64)
+    name: str = "max_times"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        return np.asarray(a_values, dtype=np.float64) * np.asarray(b_values, dtype=np.float64)
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        return np.maximum.reduceat(np.asarray(values, dtype=np.float64), group_starts)
+
+
+class OverlapSemiring(Semiring):
+    """The PASTIS candidate-discovery semiring.
+
+    Inputs are k-mer *positions*: ``A[i, t]`` holds the position of k-mer
+    ``t`` in sequence ``i`` and ``B = Aᵀ`` holds the same for the other
+    sequence.  The multiply forms one "shared k-mer" record per partial
+    product; the add accumulates the shared-k-mer count and keeps the first
+    two seed position pairs (enough for the seed-and-extend or full
+    Smith–Waterman alignment that follows).
+    """
+
+    value_dtype: np.dtype = OVERLAP_DTYPE
+    name: str = "overlap"
+
+    def multiply(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        a_pos = np.asarray(a_values).astype(np.int32, copy=False)
+        b_pos = np.asarray(b_values).astype(np.int32, copy=False)
+        out = np.empty(a_pos.size, dtype=OVERLAP_DTYPE)
+        out["count"] = 1
+        out["first_pos_a"] = a_pos
+        out["first_pos_b"] = b_pos
+        out["second_pos_a"] = -1
+        out["second_pos_b"] = -1
+        return out
+
+    def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        n_groups = group_starts.size
+        out = np.empty(n_groups, dtype=OVERLAP_DTYPE)
+        out["count"] = np.add.reduceat(values["count"].astype(np.int64), group_starts).astype(
+            np.int32
+        )
+        out["first_pos_a"] = values["first_pos_a"][group_starts]
+        out["first_pos_b"] = values["first_pos_b"][group_starts]
+        # second seed: the element right after the group start, when the
+        # group has at least two members
+        group_ends = np.empty(n_groups, dtype=np.int64)
+        group_ends[:-1] = group_starts[1:]
+        group_ends[-1] = values.size
+        has_second = (group_ends - group_starts) >= 2
+        second_index = np.where(has_second, group_starts + 1, group_starts)
+        out["second_pos_a"] = np.where(has_second, values["first_pos_a"][second_index], -1)
+        out["second_pos_b"] = np.where(has_second, values["first_pos_b"][second_index], -1)
+        return out

@@ -1,0 +1,139 @@
+"""Elementwise and structural sparse operations.
+
+These are the helpers PASTIS needs around SpGEMM: transposition, triangular
+extraction (the symmetry argument of §VI-B — only the strictly upper triangle
+of the overlap matrix needs aligning), the index-parity pruning rule of the
+index-based load-balancing scheme, value filtering (common-k-mer threshold,
+ANI/coverage thresholds) and conversions to/from SciPy for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .coo import CooMatrix
+from .semiring import Semiring
+
+
+def transpose(matrix: CooMatrix) -> CooMatrix:
+    """Transpose a COO matrix."""
+    return matrix.transpose()
+
+
+def triu(matrix: CooMatrix, k: int = 0) -> CooMatrix:
+    """Keep entries with ``col - row >= k`` (upper triangle).
+
+    ``k=1`` gives the strictly upper triangle used for the symmetric overlap
+    matrix: each unordered sequence pair is then represented exactly once.
+    """
+    mask = (matrix.cols - matrix.rows) >= k
+    return matrix.select(mask)
+
+
+def tril(matrix: CooMatrix, k: int = 0) -> CooMatrix:
+    """Keep entries with ``col - row <= k`` (lower triangle)."""
+    mask = (matrix.cols - matrix.rows) <= k
+    return matrix.select(mask)
+
+
+def prune_by_parity(matrix: CooMatrix, keep_diagonal: bool = False) -> CooMatrix:
+    """Apply the paper's index-based load-balancing pruning rule.
+
+    From §VI-B: in the lower triangular portion keep a nonzero if its row and
+    column indices are *both odd or both even*; in the upper triangular
+    portion keep a nonzero if exactly one of them is odd.  The rule respects
+    the matrix's symmetry (if ``(i, j)`` is kept in the upper triangle then
+    ``(j, i)`` is discarded from the lower triangle and vice versa), so each
+    unordered pair survives exactly once, while roughly half of every block is
+    pruned — preserving the uniform nonzero distribution.
+
+    Diagonal entries (self pairs) are dropped unless ``keep_diagonal``.
+    """
+    rows, cols = matrix.rows, matrix.cols
+    same_parity = (rows % 2) == (cols % 2)
+    lower = rows > cols
+    upper = rows < cols
+    keep = (lower & same_parity) | (upper & ~same_parity)
+    if keep_diagonal:
+        keep = keep | (rows == cols)
+    return matrix.select(keep)
+
+
+def filter_values(matrix: CooMatrix, predicate: Callable[[np.ndarray], np.ndarray]) -> CooMatrix:
+    """Keep entries for which ``predicate(values)`` is true (vectorized)."""
+    mask = np.asarray(predicate(matrix.values), dtype=bool)
+    if mask.shape[0] != matrix.nnz:
+        raise ValueError("predicate must return one boolean per nonzero")
+    return matrix.select(mask)
+
+
+def add_coo(a: CooMatrix, b: CooMatrix, semiring: Semiring | None = None) -> CooMatrix:
+    """Elementwise "addition": union of the patterns, duplicates combined.
+
+    Without a semiring, numerical values are summed.  With a semiring, the
+    semiring's reduce combines collisions — this is how partial SUMMA results
+    from successive stages are merged.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    rows = np.concatenate([a.rows, b.rows])
+    cols = np.concatenate([a.cols, b.cols])
+    if a.values.dtype != b.values.dtype:
+        values = np.concatenate(
+            [a.values.astype(np.float64), b.values.astype(np.float64)]
+        )
+    else:
+        values = np.concatenate([a.values, b.values])
+    merged = CooMatrix(a.shape, rows, cols, values, check=False)
+    if semiring is not None:
+        return merged.deduplicate(semiring)
+    if values.dtype.names is not None:
+        # structured values: without a semiring keep the first occurrence
+        return merged.deduplicate()
+    # numeric: sum duplicates
+    m = merged.sort_rowmajor()
+    if m.nnz == 0:
+        return m
+    changed = np.empty(m.nnz, dtype=bool)
+    changed[0] = True
+    changed[1:] = (np.diff(m.rows) != 0) | (np.diff(m.cols) != 0)
+    starts = np.flatnonzero(changed)
+    summed = np.add.reduceat(m.values.astype(np.float64), starts).astype(values.dtype)
+    return CooMatrix(m.shape, m.rows[starts], m.cols[starts], summed, check=False)
+
+
+def to_scipy_csr(matrix: CooMatrix):
+    """Convert a numeric COO matrix to ``scipy.sparse.csr_matrix`` (validation)."""
+    from scipy import sparse as sp
+
+    if matrix.values.dtype.names is not None:
+        raise TypeError("cannot convert structured-dtype matrix to scipy")
+    return sp.csr_matrix(
+        (matrix.values.astype(np.float64), (matrix.rows, matrix.cols)), shape=matrix.shape
+    )
+
+
+def from_scipy(matrix) -> CooMatrix:
+    """Convert any SciPy sparse matrix to :class:`CooMatrix`."""
+    coo = matrix.tocoo()
+    return CooMatrix(
+        coo.shape,
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        np.asarray(coo.data),
+        check=False,
+    )
+
+
+def symmetrize_pattern(matrix: CooMatrix) -> CooMatrix:
+    """Return the union of a matrix's pattern with its transpose's pattern.
+
+    Used when turning the (upper-triangular) similarity graph back into a
+    symmetric adjacency structure for clustering.
+    """
+    rows = np.concatenate([matrix.rows, matrix.cols])
+    cols = np.concatenate([matrix.cols, matrix.rows])
+    values = np.concatenate([matrix.values, matrix.values])
+    return CooMatrix(matrix.shape, rows, cols, values, check=False).deduplicate()

@@ -1,0 +1,9 @@
+"""Version information for the PASTIS reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the paper being reproduced.
+PAPER = (
+    "Extreme-scale many-against-many protein similarity search, "
+    "Selvitopi et al., SC 2022 (arXiv:2303.01845)"
+)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Datasets are intentionally tiny (tens to a couple hundred sequences) so the
+whole suite runs in minutes; the pipeline invariants being tested (identical
+results across blockings and load-balancing schemes, exact agreement of
+alignment kernels, SUMMA vs. direct SpGEMM equality) do not depend on scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import PastisParams
+from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared across tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_seqs():
+    """A ~30-sequence synthetic dataset (fast unit-level fixture)."""
+    return synthetic_dataset(n_sequences=30, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_seqs():
+    """A ~90-sequence synthetic dataset used by pipeline-level tests."""
+    config = SyntheticDatasetConfig(
+        n_sequences=90,
+        family_fraction=0.75,
+        mean_family_size=5.0,
+        mutation_rate=0.08,
+        seed=11,
+    )
+    return synthetic_dataset(config=config)
+
+
+@pytest.fixture(scope="session")
+def fast_params() -> PastisParams:
+    """Pipeline parameters tuned for tiny test datasets."""
+    return PastisParams(
+        kmer_length=5,
+        nodes=4,
+        num_blocks=4,
+        common_kmer_threshold=1,
+        load_balancing="index",
+        align_batch_size=64,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_seqs, fast_params):
+    """One shared end-to-end pipeline run (expensive; reused by many tests)."""
+    from repro.core.pipeline import PastisPipeline
+
+    return PastisPipeline(fast_params).run(small_seqs)

@@ -1,0 +1,129 @@
+"""Tests for repro.align.result and repro.align.substitution."""
+
+import numpy as np
+import pytest
+
+from repro.align.result import (
+    ALIGNMENT_RESULT_DTYPE,
+    AlignmentResult,
+    coverage_array,
+    identity_array,
+    passes_thresholds,
+)
+from repro.align.substitution import (
+    BLOSUM62,
+    DEFAULT_SCORING,
+    ScoringScheme,
+    identity_matrix,
+    reduce_matrix,
+)
+from repro.sequences.alphabet import MURPHY10, PROTEIN
+
+
+# ---------------------------------------------------------------- substitution
+def test_blosum62_is_symmetric_and_has_positive_diagonal():
+    assert BLOSUM62.shape == (20, 20)
+    assert np.array_equal(BLOSUM62, BLOSUM62.T)
+    assert np.all(np.diag(BLOSUM62) > 0)
+
+
+def test_blosum62_known_values():
+    idx = {aa: i for i, aa in enumerate("ARNDCQEGHILKMFPSTWYV")}
+    assert BLOSUM62[idx["W"], idx["W"]] == 11
+    assert BLOSUM62[idx["A"], idx["A"]] == 4
+    assert BLOSUM62[idx["L"], idx["I"]] == 2
+    assert BLOSUM62[idx["W"], idx["G"]] == -2
+
+
+def test_default_scoring_parameters_match_paper():
+    assert DEFAULT_SCORING.gap_open == 11
+    assert DEFAULT_SCORING.gap_extend == 2
+    assert DEFAULT_SCORING.alphabet_size == 20
+
+
+def test_scoring_rejects_negative_penalties():
+    with pytest.raises(ValueError):
+        ScoringScheme(matrix=BLOSUM62, gap_open=-1, gap_extend=2)
+
+
+def test_score_pairs_vectorized():
+    a = PROTEIN.encode("AW")
+    b = PROTEIN.encode("AA")
+    scores = DEFAULT_SCORING.score_pairs(a, b)
+    assert scores.tolist() == [4, -3]
+
+
+def test_identity_matrix():
+    mat = identity_matrix(PROTEIN, match=7, mismatch=-3)
+    assert mat[0, 0] == 7
+    assert mat[0, 1] == -3
+
+
+def test_reduce_matrix_to_murphy10():
+    reduced = reduce_matrix(BLOSUM62.astype(float), PROTEIN, MURPHY10)
+    assert reduced.shape == (10, 10)
+    # diagonal (within-group averages) should be positive on average
+    assert np.diag(reduced).mean() > 0
+
+
+def test_reduce_matrix_shape_mismatch():
+    with pytest.raises(ValueError):
+        reduce_matrix(np.zeros((5, 5)), PROTEIN, MURPHY10)
+
+
+# ---------------------------------------------------------------- results
+def make_result(score=50, begin_a=0, end_a=9, begin_b=0, end_b=9, matches=8, length=10):
+    return AlignmentResult(
+        score=score, begin_a=begin_a, end_a=end_a, begin_b=begin_b, end_b=end_b,
+        matches=matches, length=length, cells=100,
+    )
+
+
+def test_identity_property():
+    assert make_result(matches=8, length=10).identity == pytest.approx(0.8)
+    assert make_result(matches=0, length=0).identity == 0.0
+
+
+def test_coverage_property():
+    res = make_result(begin_a=0, end_a=9, begin_b=5, end_b=14)
+    assert res.coverage(len_a=10, len_b=100) == pytest.approx(1.0)
+    assert res.coverage(len_a=20, len_b=100) == pytest.approx(0.5)
+    assert make_result(length=0).coverage(0, 10) == 0.0
+
+
+def test_record_roundtrip():
+    res = make_result()
+    record = res.to_record()
+    assert record.dtype == ALIGNMENT_RESULT_DTYPE
+    back = AlignmentResult.from_record(record[0])
+    assert back == res
+
+
+def test_identity_array_and_coverage_array():
+    records = np.zeros(2, dtype=ALIGNMENT_RESULT_DTYPE)
+    records["matches"] = [5, 0]
+    records["length"] = [10, 0]
+    records["begin_a"] = [0, 0]
+    records["end_a"] = [9, -1]
+    records["begin_b"] = [0, 0]
+    records["end_b"] = [9, -1]
+    ani = identity_array(records)
+    assert ani.tolist() == [0.5, 0.0]
+    cov = coverage_array(records, np.array([10, 10]), np.array([20, 20]))
+    assert cov[0] == pytest.approx(1.0)
+    assert cov[1] == 0.0
+
+
+def test_passes_thresholds():
+    records = np.zeros(3, dtype=ALIGNMENT_RESULT_DTYPE)
+    records["matches"] = [9, 9, 2]
+    records["length"] = [10, 10, 10]
+    records["begin_a"] = 0
+    records["end_a"] = [9, 4, 9]
+    records["begin_b"] = 0
+    records["end_b"] = [9, 4, 9]
+    mask = passes_thresholds(
+        records, np.array([10, 10, 10]), np.array([12, 12, 12]),
+        ani_threshold=0.5, coverage_threshold=0.7,
+    )
+    assert mask.tolist() == [True, False, False]

@@ -1,0 +1,84 @@
+"""Tests for repro.sequences.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.alphabet import (
+    AMINO_ACIDS,
+    DAYHOFF6,
+    MURPHY10,
+    PROTEIN,
+    reduced_alphabet,
+)
+
+
+def test_protein_alphabet_size():
+    assert PROTEIN.size == 20
+    assert len(PROTEIN) == 20
+    assert PROTEIN.letters == AMINO_ACIDS
+
+
+def test_encode_decode_roundtrip():
+    seq = "ACDEFGHIKLMNPQRSTVWY"
+    codes = PROTEIN.encode(seq)
+    assert codes.dtype == np.uint8
+    assert PROTEIN.decode(codes) == seq
+
+
+def test_encode_is_case_insensitive():
+    assert np.array_equal(PROTEIN.encode("acdef"), PROTEIN.encode("ACDEF"))
+
+
+def test_ambiguous_codes_map_to_canonical():
+    codes = PROTEIN.encode("BZJXUO*")
+    assert codes.shape == (7,)
+    assert int(codes.max()) < PROTEIN.size
+
+
+def test_unknown_character_raises():
+    with pytest.raises(ValueError, match="unknown residue"):
+        PROTEIN.encode("AC1DE")
+
+
+def test_decode_rejects_out_of_range_codes():
+    with pytest.raises(ValueError):
+        PROTEIN.decode(np.array([25], dtype=np.uint8))
+
+
+def test_murphy10_size_and_grouping():
+    assert MURPHY10.size == 10
+    # L, V, I, M collapse to the same symbol
+    codes = MURPHY10.encode("LVIM")
+    assert len(set(codes.tolist())) == 1
+    # K and R collapse, but K and H do not
+    assert MURPHY10.encode("K")[0] == MURPHY10.encode("R")[0]
+    assert MURPHY10.encode("K")[0] != MURPHY10.encode("H")[0]
+
+
+def test_dayhoff6_size():
+    assert DAYHOFF6.size == 6
+
+
+def test_projection_to_reduced_alphabet():
+    codes = PROTEIN.encode("LVIMKR")
+    reduced = PROTEIN.project(MURPHY10, codes)
+    assert len(set(reduced[:4].tolist())) == 1
+    assert reduced[4] == reduced[5]
+
+
+def test_reduced_alphabet_requires_full_coverage():
+    with pytest.raises(ValueError, match="do not cover"):
+        reduced_alphabet("bad", ["AR", "N"])
+
+
+def test_reduced_alphabet_rejects_duplicates():
+    groups = ["AR", "RN"] + [c for c in AMINO_ACIDS if c not in "ARN"]
+    with pytest.raises(ValueError, match="more than one group"):
+        reduced_alphabet("dup", groups)
+
+
+def test_all_amino_acids_encodable_in_every_alphabet():
+    for alphabet in (PROTEIN, MURPHY10, DAYHOFF6):
+        codes = alphabet.encode(AMINO_ACIDS)
+        assert codes.size == 20
+        assert int(codes.max()) < alphabet.size

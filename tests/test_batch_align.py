@@ -1,0 +1,165 @@
+"""Tests for the batched wavefront kernel and the ADEPT-like driver."""
+
+import numpy as np
+import pytest
+
+from repro.align.adept import AdeptDriver, AlignmentWorkloadStats
+from repro.align.batch import batch_smith_waterman, estimate_batch_cells
+from repro.align.result import ALIGNMENT_RESULT_DTYPE
+from repro.align.smith_waterman import smith_waterman_reference
+from repro.align.substitution import ScoringScheme, identity_matrix
+from repro.hardware.node import NodeSpec
+from repro.sequences.alphabet import PROTEIN
+from repro.sequences.synthetic import synthetic_dataset
+
+
+def encode(s):
+    return PROTEIN.encode(s)
+
+
+def test_batch_scores_match_reference_on_random_pairs():
+    rng = np.random.default_rng(0)
+    a_list, b_list = [], []
+    for _ in range(12):
+        a_list.append(rng.integers(0, 20, rng.integers(5, 45)).astype(np.uint8))
+        b_list.append(rng.integers(0, 20, rng.integers(5, 45)).astype(np.uint8))
+    results = batch_smith_waterman(a_list, b_list)
+    assert results.dtype == ALIGNMENT_RESULT_DTYPE
+    for k in range(12):
+        ref = smith_waterman_reference(a_list[k], b_list[k])
+        assert int(results["score"][k]) == ref.score
+        assert int(results["cells"][k]) == ref.cells
+
+
+def test_batch_handles_heterogeneous_lengths():
+    a_list = [encode("A" * 5), encode("ACDEFGHIKLMNPQRSTVWY" * 4), encode("WYW")]
+    b_list = [encode("A" * 50), encode("ACDEFGHIKLMNPQRSTVWY" * 2), encode("PPP")]
+    results = batch_smith_waterman(a_list, b_list)
+    ref0 = smith_waterman_reference(a_list[0], b_list[0])
+    ref1 = smith_waterman_reference(a_list[1], b_list[1])
+    assert int(results["score"][0]) == ref0.score
+    assert int(results["score"][1]) == ref1.score
+    assert int(results["score"][2]) == 0
+
+
+def test_batch_identity_and_coverage_fields():
+    seq = encode("ACDEFGHIKLMNPQRSTVWY")
+    results = batch_smith_waterman([seq], [seq])
+    assert int(results["matches"][0]) == 20
+    assert int(results["length"][0]) == 20
+    assert int(results["begin_a"][0]) == 0
+    assert int(results["end_a"][0]) == 19
+
+
+def test_batch_empty_inputs():
+    assert batch_smith_waterman([], []).size == 0
+    results = batch_smith_waterman([encode("")], [encode("ACD")])
+    assert int(results["score"][0]) == 0
+    assert int(results["end_a"][0]) == -1
+
+
+def test_batch_mismatched_lengths_raises():
+    with pytest.raises(ValueError):
+        batch_smith_waterman([encode("AC")], [])
+
+
+def test_batch_scoring_scheme_is_honoured():
+    scoring = ScoringScheme(matrix=identity_matrix(PROTEIN, match=3, mismatch=-2),
+                            gap_open=5, gap_extend=2)
+    seq = encode("ACDEACDE")
+    results = batch_smith_waterman([seq], [seq], scoring)
+    assert int(results["score"][0]) == 24
+
+
+def test_estimate_batch_cells():
+    a_list = [encode("AAAA"), encode("CC")]
+    b_list = [encode("AAA"), encode("CCCC")]
+    assert estimate_batch_cells(a_list, b_list) == 4 * 3 + 2 * 4
+
+
+# ---------------------------------------------------------------- AdeptDriver
+@pytest.fixture(scope="module")
+def driver_dataset():
+    return synthetic_dataset(n_sequences=40, seed=21)
+
+
+def test_adept_driver_results_in_input_order(driver_dataset):
+    driver = AdeptDriver(batch_size=8)
+    rows = np.array([0, 5, 10, 3, 7])
+    cols = np.array([1, 6, 11, 4, 8])
+    results, stats = driver.align_pairs(driver_dataset, rows, cols)
+    assert results.size == 5
+    assert stats.pairs == 5
+    # spot-check one pair against the reference kernel
+    ref = smith_waterman_reference(driver_dataset.codes(0), driver_dataset.codes(1))
+    assert int(results["score"][0]) == ref.score
+
+
+def test_adept_driver_empty_input(driver_dataset):
+    driver = AdeptDriver()
+    results, stats = driver.align_pairs(driver_dataset, np.array([]), np.array([]))
+    assert results.size == 0
+    assert stats.pairs == 0
+    assert stats.modeled_seconds == 0.0
+
+
+def test_adept_driver_threaded_matches_serial(driver_dataset):
+    rows = np.arange(0, 20)
+    cols = np.arange(1, 21)
+    serial, _ = AdeptDriver(batch_size=4, use_threads=False).align_pairs(
+        driver_dataset, rows, cols
+    )
+    threaded, _ = AdeptDriver(batch_size=4, use_threads=True).align_pairs(
+        driver_dataset, rows, cols
+    )
+    assert np.array_equal(serial["score"], threaded["score"])
+    assert np.array_equal(serial["matches"], threaded["matches"])
+
+
+def test_adept_driver_stats_and_cups(driver_dataset):
+    driver = AdeptDriver(batch_size=16)
+    rows = np.arange(0, 10)
+    cols = np.arange(10, 20)
+    _, stats = driver.align_pairs(driver_dataset, rows, cols)
+    assert stats.cells > 0
+    assert stats.modeled_seconds > 0
+    assert stats.measured_cups > 0
+    assert stats.modeled_cups > stats.measured_cups  # the GPU model is far faster than Python
+    assert stats.alignments_per_second_modeled > 0
+
+
+def test_adept_driver_gpu_count_affects_model(driver_dataset):
+    rows = np.arange(0, 12)
+    cols = np.arange(12, 24)
+    one_gpu = AdeptDriver(node=NodeSpec(gpus_per_node=1), batch_size=2)
+    six_gpu = AdeptDriver(node=NodeSpec(gpus_per_node=6), batch_size=2)
+    _, s1 = one_gpu.align_pairs(driver_dataset, rows, cols)
+    _, s6 = six_gpu.align_pairs(driver_dataset, rows, cols)
+    assert s6.modeled_seconds < s1.modeled_seconds
+
+
+def test_adept_driver_pair_length_metric(driver_dataset):
+    driver = AdeptDriver()
+    rows = np.array([0, 1])
+    cols = np.array([2, 3])
+    cells = driver.align_pair_lengths(driver_dataset, rows, cols)
+    lengths = driver_dataset.lengths
+    assert cells.tolist() == [
+        int(lengths[0] * lengths[2]),
+        int(lengths[1] * lengths[3]),
+    ]
+
+
+def test_workload_stats_merge():
+    a = AlignmentWorkloadStats(pairs=2, cells=100, measured_seconds=1.0, modeled_seconds=0.5, batches=1)
+    b = AlignmentWorkloadStats(pairs=3, cells=200, measured_seconds=2.0, modeled_seconds=0.25, batches=2)
+    merged = a.merge(b)
+    assert merged.pairs == 5
+    assert merged.cells == 300
+    assert merged.batches == 3
+    assert merged.measured_seconds == pytest.approx(3.0)
+
+
+def test_pair_shape_mismatch_raises(driver_dataset):
+    with pytest.raises(ValueError):
+        AdeptDriver().align_pairs(driver_dataset, np.array([0, 1]), np.array([2]))

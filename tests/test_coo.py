@@ -1,0 +1,139 @@
+"""Tests for repro.sparse.coo."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.semiring import CountSemiring, OVERLAP_DTYPE
+
+
+def make_matrix():
+    return CooMatrix(
+        (4, 5),
+        np.array([0, 2, 1, 2]),
+        np.array([1, 3, 0, 3]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+def test_basic_properties():
+    m = make_matrix()
+    assert m.shape == (4, 5)
+    assert m.nnz == 4
+    assert m.dtype == np.float64
+
+
+def test_default_pattern_values():
+    m = CooMatrix((3, 3), np.array([0, 1]), np.array([1, 2]))
+    assert m.values.dtype == np.int8
+    assert np.all(m.values == 1)
+
+
+def test_coordinate_validation():
+    with pytest.raises(ValueError):
+        CooMatrix((2, 2), np.array([2]), np.array([0]))
+    with pytest.raises(ValueError):
+        CooMatrix((2, 2), np.array([0]), np.array([5]))
+
+
+def test_mismatched_lengths():
+    with pytest.raises(ValueError):
+        CooMatrix((2, 2), np.array([0, 1]), np.array([0]))
+    with pytest.raises(ValueError):
+        CooMatrix((2, 2), np.array([0]), np.array([0]), np.array([1.0, 2.0]))
+
+
+def test_empty_constructor():
+    m = CooMatrix.empty((10, 10), dtype=np.float32)
+    assert m.nnz == 0
+    assert m.dtype == np.float32
+
+
+def test_sort_rowmajor_and_colmajor():
+    m = make_matrix()
+    m.sort_rowmajor()
+    assert m.rows.tolist() == [0, 1, 2, 2]
+    m.sort_colmajor()
+    assert m.cols.tolist() == [0, 1, 3, 3]
+
+
+def test_transpose():
+    m = make_matrix()
+    t = m.transpose()
+    assert t.shape == (5, 4)
+    assert set(zip(t.rows.tolist(), t.cols.tolist())) == {(1, 0), (3, 2), (0, 1)}
+
+
+def test_select_mask():
+    m = make_matrix()
+    sel = m.select(m.values > 2.0)
+    assert sel.nnz == 2
+    with pytest.raises(ValueError):
+        m.select(np.array([True]))
+
+
+def test_submatrix_relabel():
+    m = make_matrix()
+    sub = m.submatrix((1, 3), (0, 4), relabel=True)
+    assert sub.shape == (2, 4)
+    assert set(zip(sub.rows.tolist(), sub.cols.tolist())) == {(0, 0), (1, 3)}
+
+
+def test_submatrix_no_relabel():
+    m = make_matrix()
+    sub = m.submatrix((1, 3), (0, 4), relabel=False)
+    assert sub.shape == m.shape
+    assert set(sub.rows.tolist()) == {1, 2}
+
+
+def test_with_offset():
+    m = CooMatrix((2, 2), np.array([0]), np.array([1]), np.array([5.0]))
+    big = m.with_offset(3, 4, (10, 10))
+    assert big.rows.tolist() == [3]
+    assert big.cols.tolist() == [5]
+
+
+def test_deduplicate_last_wins():
+    m = CooMatrix(
+        (3, 3), np.array([0, 0, 1]), np.array([1, 1, 2]), np.array([1.0, 9.0, 2.0])
+    )
+    d = m.deduplicate()
+    assert d.nnz == 2
+    assert d.values[d.rows == 0][0] == 9.0
+
+
+def test_deduplicate_with_semiring_counts():
+    m = CooMatrix(
+        (3, 3),
+        np.array([0, 0, 1]),
+        np.array([1, 1, 2]),
+        np.array([1, 1, 1], dtype=np.int64),
+    )
+    d = m.deduplicate(CountSemiring())
+    assert d.nnz == 2
+    assert sorted(d.values.tolist()) == [1, 2]
+
+
+def test_todense_and_structured_rejection():
+    m = make_matrix()
+    dense = m.todense()
+    assert dense[2, 3] == pytest.approx(6.0) or dense[2, 3] in (2.0, 4.0, 6.0)
+    structured = CooMatrix(
+        (2, 2), np.array([0]), np.array([0]), np.zeros(1, dtype=OVERLAP_DTYPE)
+    )
+    with pytest.raises(TypeError):
+        structured.todense()
+
+
+def test_equality_and_copy():
+    m = make_matrix()
+    c = m.copy()
+    assert m == c
+    c.values[0] += 1.0
+    assert m != c
+    assert m != "not a matrix"
+
+
+def test_memory_bytes():
+    m = make_matrix()
+    assert m.memory_bytes() == m.rows.nbytes + m.cols.nbytes + m.values.nbytes

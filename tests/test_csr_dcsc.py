@@ -1,0 +1,101 @@
+"""Tests for repro.sparse.csr and repro.sparse.dcsc."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.dcsc import DcscMatrix
+
+
+def sample_coo(rng=None, shape=(8, 2000), nnz=40):
+    rng = rng or np.random.default_rng(0)
+    rows = rng.integers(0, shape[0], nnz)
+    cols = rng.integers(0, shape[1], nnz)
+    vals = rng.random(nnz)
+    return CooMatrix(shape, rows, cols, vals).deduplicate()
+
+
+# ---------------------------------------------------------------------- CSR
+def test_csr_roundtrip():
+    coo = sample_coo()
+    csr = CsrMatrix.from_coo(coo)
+    assert csr.nnz == coo.nnz
+    assert csr.to_coo() == coo.copy().sort_rowmajor()
+
+
+def test_csr_row_access():
+    coo = CooMatrix((3, 4), np.array([1, 1, 2]), np.array([0, 3, 2]), np.array([1.0, 2.0, 3.0]))
+    csr = CsrMatrix.from_coo(coo)
+    cols, vals = csr.row(1)
+    assert cols.tolist() == [0, 3]
+    assert vals.tolist() == [1.0, 2.0]
+    cols0, _ = csr.row(0)
+    assert cols0.size == 0
+    with pytest.raises(IndexError):
+        csr.row(5)
+
+
+def test_csr_row_nnz_and_slice():
+    coo = sample_coo()
+    csr = CsrMatrix.from_coo(coo)
+    assert csr.row_nnz().sum() == csr.nnz
+    sl = csr.row_slice(2, 5)
+    assert sl.shape[0] == 3
+    assert sl.nnz == int(csr.row_nnz()[2:5].sum())
+
+
+def test_csr_validation():
+    with pytest.raises(ValueError):
+        CsrMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CsrMatrix((2, 2), np.array([0, 0, 2]), np.array([0]), np.array([1.0]))
+
+
+def test_csr_memory_bytes():
+    csr = CsrMatrix.from_coo(sample_coo())
+    assert csr.memory_bytes() > 0
+
+
+# ---------------------------------------------------------------------- DCSC
+def test_dcsc_roundtrip():
+    coo = sample_coo()
+    dcsc = DcscMatrix.from_coo(coo)
+    assert dcsc.nnz == coo.nnz
+    assert dcsc.to_coo().sort_rowmajor() == coo.copy().sort_rowmajor()
+
+
+def test_dcsc_nonempty_columns_only():
+    coo = sample_coo()
+    dcsc = DcscMatrix.from_coo(coo)
+    assert dcsc.nzc == np.unique(coo.cols).size
+    assert dcsc.nzc <= dcsc.nnz
+
+
+def test_dcsc_column_access():
+    coo = CooMatrix((5, 100), np.array([0, 3]), np.array([42, 42]), np.array([1.0, 2.0]))
+    dcsc = DcscMatrix.from_coo(coo)
+    rows, vals = dcsc.column(42)
+    assert sorted(rows.tolist()) == [0, 3]
+    empty_rows, _ = dcsc.column(7)
+    assert empty_rows.size == 0
+
+
+def test_dcsc_empty_matrix():
+    dcsc = DcscMatrix.from_coo(CooMatrix.empty((5, 100)))
+    assert dcsc.nnz == 0
+    assert dcsc.nzc == 0
+    assert dcsc.to_coo().nnz == 0
+
+
+def test_dcsc_hypersparse_compression():
+    # 8 rows x 2,000 columns with only 40 nonzeros: DCSC pointers should be
+    # far smaller than a CSC column-pointer array
+    dcsc = DcscMatrix.from_coo(sample_coo())
+    assert dcsc.compression_ratio_vs_csc() > 10
+    assert dcsc.memory_bytes() < (2000 + 1) * 8
+
+
+def test_dcsc_validation():
+    with pytest.raises(ValueError):
+        DcscMatrix((2, 5), np.array([1, 0]), np.array([0, 1, 2]), np.array([0, 1]), np.array([1.0, 2.0]))

@@ -1,0 +1,274 @@
+"""Tests for the distributed sparse layer: DistSparseMatrix, SUMMA, Blocked SUMMA."""
+
+import numpy as np
+import pytest
+
+from repro.distsparse.blocked_summa import BlockedSpGemm, BlockSchedule
+from repro.distsparse.distmat import DistSparseMatrix
+from repro.distsparse.distribute import distribute_coo, distribute_sequences
+from repro.distsparse.gather import gather_to_root
+from repro.distsparse.summa import summa
+from repro.mpi.communicator import SimCommunicator
+from repro.sequences.synthetic import synthetic_dataset
+from repro.sparse.coo import CooMatrix
+from repro.sparse.semiring import ArithmeticSemiring, CountSemiring, OverlapSemiring
+from repro.sparse.spgemm import spgemm
+
+
+def random_coo(shape, nnz, seed, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, shape[0], nnz)
+    cols = rng.integers(0, shape[1], nnz)
+    if dtype == np.int32:
+        vals = rng.integers(0, 100, nnz).astype(np.int32)
+    else:
+        vals = rng.integers(1, 9, nnz).astype(np.float64)
+    return CooMatrix(shape, rows, cols, vals).deduplicate()
+
+
+# ---------------------------------------------------------------- DistSparseMatrix
+def test_distribution_partitions_all_nonzeros():
+    comm = SimCommunicator(4)
+    mat = random_coo((20, 30), 80, 0)
+    dist = DistSparseMatrix.from_global_coo(mat, comm)
+    assert dist.nnz == mat.nnz
+    assert dist.to_global_coo() == mat.copy().sort_rowmajor()
+    assert dist.nnz_per_rank().sum() == mat.nnz
+    assert dist.memory_bytes_per_rank().sum() > 0
+
+
+def test_distribution_block_ownership():
+    comm = SimCommunicator(4)
+    mat = CooMatrix((4, 4), np.array([0, 3]), np.array([0, 3]), np.array([1.0, 2.0]))
+    dist = DistSparseMatrix.from_global_coo(mat, comm)
+    # element (0,0) belongs to rank (0,0); (3,3) to rank (1,1)
+    assert dist.local(comm.grid.rank_of(0, 0)).nnz == 1
+    assert dist.local(comm.grid.rank_of(1, 1)).nnz == 1
+    assert dist.local(comm.grid.rank_of(0, 1)).nnz == 0
+
+
+def test_grid_block_offsets():
+    comm = SimCommunicator(4)
+    mat = random_coo((10, 10), 30, 1)
+    dist = DistSparseMatrix.from_global_coo(mat, comm)
+    block, roff, coff = dist.grid_block(1, 0)
+    assert roff == 5 and coff == 0
+    assert block.shape == (5, 5)
+
+
+def test_empty_distributed_matrix():
+    comm = SimCommunicator(9)
+    dist = DistSparseMatrix.empty((12, 12), comm)
+    assert dist.nnz == 0
+    assert dist.to_global_coo().nnz == 0
+
+
+def test_row_and_col_stripes_cover_matrix():
+    comm = SimCommunicator(4)
+    mat = random_coo((16, 12), 70, 2)
+    dist = DistSparseMatrix.from_global_coo(mat, comm)
+    stripe = dist.row_stripe((4, 11))
+    global_stripe = stripe.to_global_coo()
+    expected = mat.select((mat.rows >= 4) & (mat.rows < 11)).sort_rowmajor()
+    assert set(zip(global_stripe.rows.tolist(), global_stripe.cols.tolist())) == set(
+        zip(expected.rows.tolist(), expected.cols.tolist())
+    )
+    cstripe = dist.col_stripe((0, 5))
+    expected_c = mat.select(mat.cols < 5)
+    assert cstripe.nnz == expected_c.nnz
+
+
+def test_set_local_shape_check():
+    comm = SimCommunicator(4)
+    dist = DistSparseMatrix.empty((8, 8), comm)
+    with pytest.raises(ValueError):
+        dist.set_local(0, CooMatrix.empty((3, 3)))
+    dist.set_local(0, CooMatrix.empty((4, 4)))
+
+
+def test_wrong_block_count_raises():
+    comm = SimCommunicator(4)
+    with pytest.raises(ValueError):
+        DistSparseMatrix((8, 8), comm, [CooMatrix.empty((4, 4))])
+
+
+# ---------------------------------------------------------------- SUMMA
+@pytest.mark.parametrize("nprocs", [1, 4, 9])
+def test_summa_equals_direct_spgemm(nprocs):
+    comm = SimCommunicator(nprocs)
+    a = random_coo((18, 22), 90, 3)
+    b = random_coo((22, 15), 70, 4)
+    sr = ArithmeticSemiring()
+    dist_result = summa(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(b, comm),
+        sr,
+    )
+    direct = spgemm(a, b, sr)
+    merged = dist_result.to_global(sr)
+    assert np.array_equal(merged.rows, direct.rows)
+    assert np.array_equal(merged.cols, direct.cols)
+    assert np.allclose(merged.values, direct.values)
+
+
+def test_summa_charges_communication_and_compute():
+    comm = SimCommunicator(4)
+    a = random_coo((20, 20), 120, 5)
+    summa(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        CountSemiring(),
+    )
+    assert comm.ledger.component_time("comm") > 0
+    assert comm.ledger.component_time("spgemm") > 0
+    assert comm.ledger.counter_total("spgemm_flops") > 0
+
+
+def test_summa_dimension_mismatch():
+    comm = SimCommunicator(4)
+    a = DistSparseMatrix.empty((4, 5), comm)
+    b = DistSparseMatrix.empty((6, 4), comm)
+    with pytest.raises(ValueError):
+        summa(a, b, ArithmeticSemiring())
+
+
+def test_summa_requires_same_communicator():
+    a = DistSparseMatrix.empty((4, 4), SimCommunicator(4))
+    b = DistSparseMatrix.empty((4, 4), SimCommunicator(4))
+    with pytest.raises(ValueError):
+        summa(a, b, ArithmeticSemiring())
+
+
+def test_summa_result_flops_per_rank():
+    comm = SimCommunicator(4)
+    a = random_coo((20, 20), 150, 6)
+    res = summa(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        CountSemiring(),
+    )
+    assert res.flops_per_rank.sum() == res.stats.flops
+    assert res.nnz == res.nnz_per_rank().sum()
+
+
+# ---------------------------------------------------------------- Blocked SUMMA
+def test_block_schedule_ranges_cover_matrix():
+    sched = BlockSchedule(n_rows=17, n_cols=17, br=3, bc=4)
+    assert sched.num_blocks == 12
+    rows_covered = sum(sched.row_range(r)[1] - sched.row_range(r)[0] for r in range(3))
+    cols_covered = sum(sched.col_range(c)[1] - sched.col_range(c)[0] for c in range(4))
+    assert rows_covered == 17
+    assert cols_covered == 17
+    assert len(sched.all_blocks()) == 12
+
+
+def test_block_schedule_validation():
+    with pytest.raises(ValueError):
+        BlockSchedule(n_rows=10, n_cols=10, br=0, bc=2)
+    with pytest.raises(ValueError):
+        BlockSchedule(n_rows=3, n_cols=3, br=5, bc=1)
+    with pytest.raises(IndexError):
+        BlockSchedule(n_rows=10, n_cols=10, br=2, bc=2).row_range(2)
+
+
+@pytest.mark.parametrize("blocking", [(1, 1), (2, 2), (3, 5), (4, 1)])
+def test_blocked_summa_union_equals_direct(blocking):
+    comm = SimCommunicator(4)
+    n, k = 24, 120
+    a = random_coo((n, k), 200, 7, dtype=np.int32)
+    sr = CountSemiring()
+    direct = spgemm(a, a.transpose(), sr)
+    engine = BlockedSpGemm(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        sr,
+        BlockSchedule(n, n, blocking[0], blocking[1]),
+    )
+    pieces = [blk.result.to_global(sr) for blk in engine.iter_blocks()]
+    rows = np.concatenate([p.rows for p in pieces])
+    cols = np.concatenate([p.cols for p in pieces])
+    vals = np.concatenate([p.values for p in pieces])
+    merged = CooMatrix((n, n), rows, cols, vals, check=False).deduplicate(sr)
+    assert merged == direct
+
+
+def test_blocked_summa_peak_memory_decreases_with_more_blocks():
+    comm = SimCommunicator(4)
+    n, k = 30, 200
+    a = random_coo((n, k), 400, 8, dtype=np.int32)
+    sr = OverlapSemiring()
+    peaks = {}
+    for blocks in [(1, 1), (5, 5)]:
+        engine = BlockedSpGemm(
+            DistSparseMatrix.from_global_coo(a, comm),
+            DistSparseMatrix.from_global_coo(a.transpose(), comm),
+            sr,
+            BlockSchedule(n, n, *blocks),
+        )
+        for _ in engine.iter_blocks():
+            pass
+        peaks[blocks] = engine.peak_block_bytes
+    assert peaks[(5, 5)] < peaks[(1, 1)]
+
+
+def test_blocked_summa_validation():
+    comm = SimCommunicator(4)
+    a = DistSparseMatrix.empty((10, 20), comm)
+    b = DistSparseMatrix.empty((20, 10), comm)
+    with pytest.raises(ValueError):
+        BlockedSpGemm(a, b, CountSemiring(), BlockSchedule(8, 10, 2, 2))
+    with pytest.raises(ValueError):
+        BlockedSpGemm(a, DistSparseMatrix.empty((15, 10), comm), CountSemiring(),
+                      BlockSchedule(10, 10, 2, 2))
+
+
+def test_blocked_summa_broadcast_volume_model():
+    comm = SimCommunicator(4)
+    a = random_coo((20, 50), 100, 9, dtype=np.int32)
+    engine = BlockedSpGemm(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        CountSemiring(),
+        BlockSchedule(20, 20, 4, 4),
+    )
+    model = engine.broadcast_volume_model()
+    # blocked variant sends more messages but the bandwidth term grows only
+    # with (br + bc), not br * bc
+    assert model["blocked_latency_messages"] == pytest.approx(
+        16 * model["plain_latency_messages"]
+    )
+    assert model["blocked_bandwidth_bytes"] == pytest.approx(
+        4 * model["plain_bandwidth_bytes"]
+    )
+
+
+# ---------------------------------------------------------------- distribute / gather
+def test_distribute_coo_charges_traffic():
+    comm = SimCommunicator(4)
+    mat = random_coo((20, 20), 100, 10)
+    dist = distribute_coo(mat, comm)
+    assert dist.to_global_coo() == mat.copy().sort_rowmajor()
+    assert comm.ledger.component_time("comm") > 0
+
+
+def test_distribute_sequences_assigns_row_and_col_ranges():
+    comm = SimCommunicator(4)
+    seqs = synthetic_dataset(n_sequences=20, seed=1)
+    needed = distribute_sequences(seqs, comm)
+    assert len(needed) == 4
+    union = set()
+    for idx in needed:
+        union.update(idx.tolist())
+    assert union == set(range(20))
+    assert comm.ledger.component_time("cwait") > 0
+
+
+def test_gather_to_root():
+    comm = SimCommunicator(4)
+    pieces = [CooMatrix.empty((6, 6), dtype=np.float64) for _ in range(4)]
+    pieces[1] = CooMatrix((6, 6), np.array([2]), np.array([3]), np.array([1.5]))
+    pieces[3] = CooMatrix((6, 6), np.array([4]), np.array([5]), np.array([2.5]))
+    merged = gather_to_root(pieces, (6, 6), comm)
+    assert merged.nnz == 2
+    with pytest.raises(ValueError):
+        gather_to_root(pieces[:2], (6, 6), comm)

@@ -1,0 +1,65 @@
+"""Tests for the hardware models."""
+
+import pytest
+
+from repro.hardware.cluster import SUMMIT, summit_subset
+from repro.hardware.gpu import HOPPER_DPX, V100, GpuSpec
+from repro.hardware.node import SUMMIT_NODE, NodeSpec
+from repro.hardware.topology import SUMMIT_NETWORK, NetworkSpec
+
+
+def test_summit_node_matches_paper_description():
+    assert SUMMIT_NODE.cores == 42
+    assert SUMMIT_NODE.gpus_per_node == 6
+    assert SUMMIT_NODE.cpu_memory_gb == 512.0
+    assert SUMMIT_NODE.gpu.name == "V100"
+
+
+def test_summit_system_scale():
+    assert SUMMIT.nodes == 4608
+    assert SUMMIT.total_gpus == 4608 * 6
+    production = summit_subset(3364)
+    assert production.nodes == 3364
+    assert production.total_gpus == 20184  # the paper's "over 20,000 GPUs"
+    assert production.total_cores == 141288
+
+
+def test_summit_subset_validation():
+    with pytest.raises(ValueError):
+        summit_subset(0)
+
+
+def test_gpu_kernel_time_scales_with_cells():
+    assert V100.kernel_seconds(2 * 10**9) == pytest.approx(2 * V100.kernel_seconds(10**9))
+    assert V100.batch_seconds(10**9, 10**6) > V100.kernel_seconds(10**9)
+    assert HOPPER_DPX.kernel_seconds(10**9) < V100.kernel_seconds(10**9)
+
+
+def test_node_aggregate_throughput():
+    node = NodeSpec(gpus_per_node=6, gpu=GpuSpec(gcups=10.0))
+    assert node.node_gcups == 60.0
+    assert node.total_gpu_memory_gb == 6 * 16.0
+
+
+def test_network_cost_model_monotonicity():
+    net = SUMMIT_NETWORK
+    assert net.tree_broadcast_seconds(10**6, 16) > net.tree_broadcast_seconds(10**6, 4)
+    assert net.tree_broadcast_seconds(10**7, 16) > net.tree_broadcast_seconds(10**6, 16)
+    assert net.tree_broadcast_seconds(100, 1) == 0.0
+    assert net.point_to_point_seconds(0) == pytest.approx(net.alpha_s)
+    assert net.allgather_seconds(1000, 1) == 0.0
+    assert net.alltoallv_seconds(10**6, 8) > 0
+
+
+def test_custom_network_parameters():
+    slow = NetworkSpec(alpha_s=1e-3, beta_s_per_byte=1e-6)
+    fast = NetworkSpec(alpha_s=1e-6, beta_s_per_byte=1e-9)
+    assert slow.tree_broadcast_seconds(10**4, 4) > fast.tree_broadcast_seconds(10**4, 4)
+
+
+def test_io_seconds_scales_with_bytes_and_saturates():
+    small = SUMMIT.io_seconds(10**6, nodes_used=100)
+    big = SUMMIT.io_seconds(10**12, nodes_used=100)
+    assert big > small
+    # with few nodes the achievable bandwidth is lower, so IO takes longer
+    assert SUMMIT.io_seconds(10**12, nodes_used=10) > SUMMIT.io_seconds(10**12, nodes_used=1000)

@@ -1,0 +1,90 @@
+"""Tests for repro.sparse.semiring."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.semiring import (
+    ArithmeticSemiring,
+    CountSemiring,
+    MaxSemiring,
+    MinPlusSemiring,
+    OverlapSemiring,
+    OVERLAP_DTYPE,
+    Semiring,
+)
+
+
+def test_abstract_semiring_raises():
+    s = Semiring()
+    with pytest.raises(NotImplementedError):
+        s.multiply(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(NotImplementedError):
+        s.reduce(np.array([1.0]), np.array([0]))
+
+
+def test_arithmetic_semiring():
+    s = ArithmeticSemiring()
+    products = s.multiply(np.array([2.0, 3.0]), np.array([4.0, 5.0]))
+    assert products.tolist() == [8.0, 15.0]
+    reduced = s.reduce(np.array([1.0, 2.0, 3.0]), np.array([0, 2]))
+    assert reduced.tolist() == [3.0, 3.0]
+    assert s.scalar_add(2.0, 5.0) == 7.0
+
+
+def test_count_semiring():
+    s = CountSemiring()
+    products = s.multiply(np.array([7, 8, 9]), np.array([1, 1, 1]))
+    assert products.tolist() == [1, 1, 1]
+    reduced = s.reduce(np.ones(4, dtype=np.int64), np.array([0, 1]))
+    assert reduced.tolist() == [1, 3]
+
+
+def test_minplus_semiring():
+    s = MinPlusSemiring()
+    products = s.multiply(np.array([1.0, 2.0]), np.array([3.0, 1.0]))
+    assert products.tolist() == [4.0, 3.0]
+    reduced = s.reduce(np.array([5.0, 2.0, 7.0]), np.array([0]))
+    assert reduced.tolist() == [2.0]
+
+
+def test_max_semiring():
+    s = MaxSemiring()
+    reduced = s.reduce(np.array([1.0, 9.0, 4.0]), np.array([0, 2]))
+    assert reduced.tolist() == [9.0, 4.0]
+
+
+def test_overlap_semiring_multiply():
+    s = OverlapSemiring()
+    out = s.multiply(np.array([10, 20], dtype=np.int32), np.array([30, 40], dtype=np.int32))
+    assert out.dtype == OVERLAP_DTYPE
+    assert out["count"].tolist() == [1, 1]
+    assert out["first_pos_a"].tolist() == [10, 20]
+    assert out["first_pos_b"].tolist() == [30, 40]
+    assert out["second_pos_a"].tolist() == [-1, -1]
+
+
+def test_overlap_semiring_reduce_counts_and_seeds():
+    s = OverlapSemiring()
+    products = s.multiply(
+        np.array([1, 2, 3, 4], dtype=np.int32), np.array([5, 6, 7, 8], dtype=np.int32)
+    )
+    # two groups: [0, 1, 2] and [3]
+    reduced = s.reduce(products, np.array([0, 3]))
+    assert reduced["count"].tolist() == [3, 1]
+    assert reduced["first_pos_a"].tolist() == [1, 4]
+    assert reduced["second_pos_a"].tolist() == [2, -1]
+    assert reduced["second_pos_b"].tolist() == [6, -1]
+
+
+def test_overlap_semiring_single_member_group():
+    s = OverlapSemiring()
+    products = s.multiply(np.array([9], dtype=np.int32), np.array([11], dtype=np.int32))
+    reduced = s.reduce(products, np.array([0]))
+    assert reduced["count"][0] == 1
+    assert reduced["second_pos_a"][0] == -1
+
+
+def test_value_dtypes():
+    assert ArithmeticSemiring().value_dtype == np.dtype(np.float64)
+    assert CountSemiring().value_dtype == np.dtype(np.int64)
+    assert OverlapSemiring().value_dtype == OVERLAP_DTYPE

@@ -1,0 +1,121 @@
+"""Tests for repro.sequences.sequence (SequenceSet)."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.alphabet import MURPHY10, PROTEIN
+from repro.sequences.sequence import Sequence, SequenceSet
+
+
+@pytest.fixture()
+def simple_set() -> SequenceSet:
+    return SequenceSet.from_strings(
+        ["ACDEF", "GHIKLMN", "PQR"], names=["s0", "s1", "s2"]
+    )
+
+
+def test_from_strings_lengths(simple_set):
+    assert len(simple_set) == 3
+    assert simple_set.lengths.tolist() == [5, 7, 3]
+    assert simple_set.total_residues == 15
+
+
+def test_residue_roundtrip(simple_set):
+    assert simple_set.residues(0) == "ACDEF"
+    assert simple_set.residues(2) == "PQR"
+
+
+def test_record_and_iteration(simple_set):
+    records = list(simple_set)
+    assert records[1] == Sequence(name="s1", residues="GHIKLMN")
+    assert len(records[1]) == 7
+
+
+def test_negative_index(simple_set):
+    assert simple_set.record(-1).name == "s2"
+
+
+def test_out_of_range_raises(simple_set):
+    with pytest.raises(IndexError):
+        simple_set.codes(3)
+
+
+def test_default_names():
+    s = SequenceSet.from_strings(["AA", "CC"])
+    assert list(s.names) == ["seq0", "seq1"]
+
+
+def test_names_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        SequenceSet.from_strings(["AA"], names=["a", "b"])
+
+
+def test_subset_preserves_order_and_content(simple_set):
+    sub = simple_set.subset(np.array([2, 0]))
+    assert len(sub) == 2
+    assert sub.residues(0) == "PQR"
+    assert sub.residues(1) == "ACDEF"
+    assert list(sub.names) == ["s2", "s0"]
+
+
+def test_getitem_slice_and_boolean(simple_set):
+    assert len(simple_set[0:2]) == 2
+    mask = np.array([True, False, True])
+    assert len(simple_set[mask]) == 2
+    assert isinstance(simple_set[1], Sequence)
+
+
+def test_subset_out_of_range(simple_set):
+    with pytest.raises(IndexError):
+        simple_set.subset(np.array([5]))
+
+
+def test_concatenate(simple_set):
+    merged = SequenceSet.concatenate([simple_set, simple_set])
+    assert len(merged) == 6
+    assert merged.total_residues == 30
+    assert merged.residues(3) == "ACDEF"
+
+
+def test_concatenate_empty_raises():
+    with pytest.raises(ValueError):
+        SequenceSet.concatenate([])
+
+
+def test_reencode_to_reduced_alphabet(simple_set):
+    reduced = simple_set.reencode(MURPHY10)
+    assert reduced.alphabet.name == "murphy10"
+    assert len(reduced) == len(simple_set)
+    assert np.array_equal(reduced.lengths, simple_set.lengths)
+    assert int(reduced.data.max()) < MURPHY10.size
+
+
+def test_length_statistics(simple_set):
+    stats = simple_set.length_statistics()
+    assert stats["count"] == 3
+    assert stats["min"] == 3
+    assert stats["max"] == 7
+    assert stats["total"] == 15
+
+
+def test_length_statistics_empty():
+    empty = SequenceSet.from_strings([])
+    assert empty.length_statistics()["count"] == 0
+
+
+def test_memory_bytes_positive(simple_set):
+    assert simple_set.memory_bytes() > 0
+
+
+def test_offsets_validation():
+    with pytest.raises(ValueError):
+        SequenceSet(
+            np.zeros(4, dtype=np.uint8), np.array([0, 2, 3]), ["a", "b"], PROTEIN
+        )
+
+
+def test_data_views_are_readonly(simple_set):
+    with pytest.raises(ValueError):
+        simple_set.data[0] = 3
+    with pytest.raises(ValueError):
+        simple_set.offsets[0] = 1

@@ -1,0 +1,88 @@
+"""Tests for the similarity graph container."""
+
+import numpy as np
+import pytest
+
+from repro.core.align_phase import EDGE_DTYPE
+from repro.core.similarity_graph import SimilarityGraph
+
+
+def make_edges(pairs, ani=0.8, coverage=0.9, score=50):
+    edges = np.zeros(len(pairs), dtype=EDGE_DTYPE)
+    for idx, (i, j) in enumerate(pairs):
+        edges[idx]["row"] = i
+        edges[idx]["col"] = j
+        edges[idx]["ani"] = ani
+        edges[idx]["coverage"] = coverage
+        edges[idx]["score"] = score
+    return edges
+
+
+def test_from_edges_canonicalizes():
+    graph = SimilarityGraph.from_edges(make_edges([(3, 1), (1, 3), (2, 2), (0, 4)]), 5)
+    assert graph.num_edges == 2  # duplicate and self-loop removed
+    pairs = graph.edge_key_set()
+    assert pairs == {(1, 3), (0, 4)}
+
+
+def test_empty_graph():
+    graph = SimilarityGraph.empty(10)
+    assert graph.num_edges == 0
+    assert graph.degrees().sum() == 0
+    assert len(np.unique(graph.connected_components())) == 10
+
+
+def test_degrees():
+    graph = SimilarityGraph.from_edges(make_edges([(0, 1), (1, 2)]), 4)
+    assert graph.degrees().tolist() == [1, 2, 1, 0]
+
+
+def test_connected_components_cluster_families():
+    graph = SimilarityGraph.from_edges(make_edges([(0, 1), (1, 2), (4, 5)]), 7)
+    labels = graph.connected_components()
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[4] == labels[5]
+    assert labels[0] != labels[4]
+    assert labels[6] not in (labels[0], labels[4])
+
+
+def test_to_networkx_attributes():
+    graph = SimilarityGraph.from_edges(make_edges([(0, 1)], ani=0.75, score=42), 3)
+    g = graph.to_networkx()
+    assert g.number_of_nodes() == 3
+    assert g.number_of_edges() == 1
+    assert g.edges[0, 1]["score"] == 42
+    assert g.edges[0, 1]["ani"] == pytest.approx(0.75, abs=1e-6)
+
+
+def test_to_coo():
+    graph = SimilarityGraph.from_edges(make_edges([(0, 2)]), 3)
+    coo = graph.to_coo()
+    assert coo.shape == (3, 3)
+    assert coo.nnz == 1
+
+
+def test_triples_roundtrip(tmp_path):
+    graph = SimilarityGraph.from_edges(make_edges([(0, 1), (2, 3)], ani=0.5), 5)
+    path = tmp_path / "graph.tsv"
+    nbytes = graph.write_triples(path)
+    assert nbytes > 0
+    loaded = SimilarityGraph.read_triples(path, 5)
+    assert loaded == graph
+    assert np.allclose(loaded.edges["ani"], 0.5, atol=1e-3)
+
+
+def test_write_triples_with_names(tmp_path):
+    graph = SimilarityGraph.from_edges(make_edges([(0, 1)]), 2)
+    path = tmp_path / "named.tsv"
+    graph.write_triples(path, names=np.array(["seqA", "seqB"], dtype=object))
+    assert "seqA\tseqB" in path.read_text()
+
+
+def test_equality_ignores_edge_order():
+    a = SimilarityGraph.from_edges(make_edges([(0, 1), (2, 3)]), 5)
+    b = SimilarityGraph.from_edges(make_edges([(3, 2), (1, 0)]), 5)
+    c = SimilarityGraph.from_edges(make_edges([(0, 1)]), 5)
+    assert a == b
+    assert a != c
+    assert a != "something else"
