@@ -9,11 +9,14 @@ measured Python rates and the modelled Summit rates used by the pipeline's
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.align.batch import batch_smith_waterman
 from repro.sequences.synthetic import synthetic_dataset
 from repro.sparse.coo import CooMatrix
+from repro.sparse.kernels import available_kernels, get_kernel
 from repro.sparse.semiring import CountSemiring, OverlapSemiring
 from repro.sparse.spgemm import spgemm
 
@@ -36,13 +39,7 @@ def test_batch_smith_waterman_throughput(benchmark):
 
 
 def test_overlap_spgemm_throughput(benchmark):
-    rng = np.random.default_rng(7)
-    n, k, nnz = 400, 4000, 12000
-    a = CooMatrix(
-        (n, k), rng.integers(0, n, nnz), rng.integers(0, k, nnz),
-        rng.integers(0, 90, nnz).astype(np.int32),
-    ).deduplicate()
-    at = a.transpose()
+    a, at = _overlap_operand(n=400, k=4000, nnz=12000, seed=7)
 
     def multiply():
         return spgemm(a, at, OverlapSemiring(), return_stats=True)
@@ -65,6 +62,73 @@ def test_overlap_spgemm_throughput(benchmark):
     assert stats.compression_factor >= 1.0
 
 
+def _overlap_operand(n, k, nnz, seed):
+    """A k-mer-position-like matrix whose A·Aᵀ has a high compression factor."""
+    rng = np.random.default_rng(seed)
+    a = CooMatrix(
+        (n, k), rng.integers(0, n, nnz), rng.integers(0, k, nnz),
+        rng.integers(0, 90, nnz).astype(np.int32),
+    ).deduplicate()
+    return a, a.transpose()
+
+
+# high-compression-factor operand used by the head-to-head and its
+# pytest-benchmark timing (keep the two in sync)
+HEAD_TO_HEAD_CASE = dict(n=300, k=40, nnz=4000, seed=5)
+
+
+def spgemm_backend_head_to_head(n, k, nnz, seed, repeats=3):
+    """Run ``C = A·Aᵀ`` through every registered backend and compare.
+
+    Returns per-backend timing and :class:`SpGemmStats` numbers; asserts the
+    outputs agree bit-for-bit, so the comparison is purely about resources.
+    """
+    a, at = _overlap_operand(n, k, nnz, seed)
+    semiring = OverlapSemiring()
+    report = {}
+    baseline = None
+    for name in available_kernels():
+        kernel = get_kernel(name)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result, stats = kernel(a, at, semiring, return_stats=True)
+            best = min(best, time.perf_counter() - t0)
+        if baseline is None:
+            baseline = result
+        else:
+            assert result == baseline, f"backend {name!r} disagrees with the others"
+        report[name] = {
+            "seconds": best,
+            "flops": stats.flops,
+            "output_nnz": stats.output_nnz,
+            "compression_factor": stats.compression_factor,
+            "intermediate_bytes": stats.intermediate_bytes,
+            "products_per_second": stats.flops / best if best else 0.0,
+        }
+    return report
+
+
+def test_spgemm_backend_head_to_head(benchmark):
+    """Expand vs Gustavson on a high-compression-factor overlap product."""
+    report = spgemm_backend_head_to_head(**HEAD_TO_HEAD_CASE)
+    # also time the challenger under pytest-benchmark so the head-to-head is
+    # collected by the documented `pytest benchmarks/ --benchmark-only` run
+    a, at = _overlap_operand(**HEAD_TO_HEAD_CASE)
+    benchmark(get_kernel("gustavson"), a, at, OverlapSemiring(), return_stats=True)
+    for name, row in report.items():
+        benchmark.extra_info[f"{name}_intermediate_bytes"] = row["intermediate_bytes"]
+        benchmark.extra_info[f"{name}_seconds"] = row["seconds"]
+    save_results("kernel_spgemm_backends", report)
+    expand, gustavson = report["expand"], report["gustavson"]
+    # identical work and output accounting...
+    assert gustavson["flops"] == expand["flops"] > 0
+    assert gustavson["output_nnz"] == expand["output_nnz"] > 0
+    assert expand["compression_factor"] > 2.0
+    # ...but the Gustavson backend bounds its intermediate memory
+    assert gustavson["intermediate_bytes"] < expand["intermediate_bytes"]
+
+
 def test_count_spgemm_scales_with_nnz(benchmark):
     rng = np.random.default_rng(11)
     n, k, nnz = 600, 8000, 30000
@@ -74,3 +138,34 @@ def test_count_spgemm_scales_with_nnz(benchmark):
     at = a.transpose()
     result = benchmark(spgemm, a, at, CountSemiring())
     assert result.nnz > 0
+
+
+def _smoke() -> None:
+    """Standalone head-to-head (no pytest-benchmark needed) — used by CI.
+
+    Runs the same high-compression-factor case as the pytest head-to-head so
+    the memory-bound guarantee is asserted on every CI run, not only when the
+    benchmark suite is invoked by hand.
+    """
+    report = spgemm_backend_head_to_head(**HEAD_TO_HEAD_CASE, repeats=1)
+    header = f"{'backend':<12} {'seconds':>10} {'flops':>8} {'nnz':>8} {'cf':>6} {'intermediate':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, row in report.items():
+        print(
+            f"{name:<12} {row['seconds']:>10.4f} {row['flops']:>8d} "
+            f"{row['output_nnz']:>8d} {row['compression_factor']:>6.2f} "
+            f"{row['intermediate_bytes']:>13d}"
+        )
+    assert report["gustavson"]["intermediate_bytes"] < report["expand"]["intermediate_bytes"]
+    print("smoke OK: backends agree bit-for-bit; gustavson intermediate memory is lower")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        _smoke()
+    else:
+        sys.exit("usage: python benchmarks/bench_kernels.py --smoke "
+                 "(full benchmarks run via: pytest benchmarks/ --benchmark-only)")

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .sparse.kernels import DEFAULT_KERNEL
+
 
 @dataclass(frozen=True)
 class ReproConfig:
@@ -35,6 +37,13 @@ class ReproConfig:
     default_blocking:
         Default blocking factor (paper production run: 20x20; strong scaling
         experiments use 8x8).
+    spgemm_backend:
+        Default SpGEMM kernel, by registry name (``"expand"`` or
+        ``"gustavson"``).  Mirrors
+        :data:`repro.sparse.kernels.DEFAULT_KERNEL` — the registry is the
+        single source of truth, so ``resolve_kernel(None)`` and this config
+        can never disagree.  This value seeds ``PastisParams.spgemm_backend``,
+        which individual runs override.
     seed:
         Default RNG seed used by synthetic data generators.
     """
@@ -46,6 +55,7 @@ class ReproConfig:
     ani_threshold: float = 0.30
     coverage_threshold: float = 0.70
     default_blocking: tuple[int, int] = field(default=(8, 8))
+    spgemm_backend: str = DEFAULT_KERNEL
     seed: int = 0
 
 

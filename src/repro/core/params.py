@@ -11,7 +11,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..align.substitution import BLOSUM62, ScoringScheme
+from ..config import DEFAULTS
 from ..sequences.alphabet import Alphabet, MURPHY10, PROTEIN
+from ..sparse.kernels import available_kernels
 
 
 @dataclass
@@ -63,6 +65,13 @@ class PastisParams:
     alignment_mode:
         ``"full_sw"`` (paper default: full Smith–Waterman on GPUs) or
         ``"seed_extend"`` (x-drop, cheaper, less sensitive).
+    spgemm_backend:
+        Local SpGEMM kernel used inside every SUMMA stage, by registry name
+        (see :mod:`repro.sparse.kernels`): ``"expand"`` (sort–expand–reduce,
+        fastest at low compression factors) or ``"gustavson"`` (row-wise
+        with bounded intermediate memory, preferred when the compression
+        factor is high).  Results are bit-identical either way.  The default
+        comes from :data:`repro.config.DEFAULTS`.
     """
 
     kmer_length: int = 6
@@ -83,6 +92,7 @@ class PastisParams:
     use_threads: bool = False
     clock: str = "modeled"
     alignment_mode: str = "full_sw"
+    spgemm_backend: str = DEFAULTS.spgemm_backend
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -101,6 +111,11 @@ class PastisParams:
             raise ValueError("clock must be 'modeled' or 'measured'")
         if self.alignment_mode not in ("full_sw", "seed_extend"):
             raise ValueError("alignment_mode must be 'full_sw' or 'seed_extend'")
+        if self.spgemm_backend not in available_kernels():
+            raise ValueError(
+                f"spgemm_backend must be one of {available_kernels()}, "
+                f"got {self.spgemm_backend!r}"
+            )
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         if self.num_blocks < 1:

@@ -125,7 +125,12 @@ class PastisPipeline:
         scheme = make_scheme(params.load_balancing)
         blocks = scheme.blocks_to_compute(schedule)
         engine = BlockedSpGemm(
-            a_dist, at_dist, OverlapSemiring(), schedule, compute_category="spgemm_measured"
+            a_dist,
+            at_dist,
+            OverlapSemiring(),
+            schedule,
+            compute_category="spgemm_measured",
+            spgemm_backend=params.spgemm_backend,
         )
         aligner = AlignmentPhase(sequences, params, comm, cost_model)
 

@@ -134,6 +134,9 @@ class BlockedSpGemm:
         Output blocking.
     compute_category:
         Ledger category local multiplies are charged to.
+    spgemm_backend:
+        Registry name of the local SpGEMM kernel every SUMMA stage uses
+        (see :mod:`repro.sparse.kernels`); ``None`` selects the default.
     """
 
     a: DistSparseMatrix
@@ -141,6 +144,7 @@ class BlockedSpGemm:
     semiring: Semiring
     schedule: BlockSchedule
     compute_category: str = "spgemm"
+    spgemm_backend: str | None = None
     peak_block_bytes: int = field(default=0, init=False)
     total_stats: SpGemmStats = field(default_factory=SpGemmStats, init=False)
     blocks_computed: int = field(default=0, init=False)
@@ -164,6 +168,7 @@ class BlockedSpGemm:
             self.semiring,
             output_shape=(self.a.shape[0], self.b.shape[1]),
             compute_category=self.compute_category,
+            spgemm_backend=self.spgemm_backend,
         )
         self.blocks_computed += 1
         self.total_stats = self.total_stats.merge(result.stats)

@@ -28,8 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sparse.coo import CooMatrix
+from ..sparse.kernels import SpGemmKernel, resolve_kernel
 from ..sparse.semiring import Semiring
-from ..sparse.spgemm import SpGemmStats, spgemm
+from ..sparse.spgemm import SpGemmStats
 from .distmat import DistSparseMatrix
 
 
@@ -93,13 +94,16 @@ def summa(
     semiring: Semiring,
     output_shape: tuple[int, int] | None = None,
     compute_category: str = "spgemm",
+    spgemm_backend: str | SpGemmKernel | None = None,
 ) -> SummaResult:
     """Run the 2D Sparse SUMMA ``C = A ·(semiring) B`` on the simulated grid.
 
     ``a`` and ``b`` may be full distributed matrices or stripes of them; the
     output coordinates are global either way.  ``output_shape`` defaults to
     ``(a.shape[0], b.shape[1])`` and should be set to the full matrix shape
-    when multiplying stripes.
+    when multiplying stripes.  ``spgemm_backend`` selects the local-multiply
+    kernel by registry name (see :mod:`repro.sparse.kernels`) or directly as
+    a callable; ``None`` uses the registry default.
     """
     if a.comm is not b.comm:
         raise ValueError("operands must live on the same communicator")
@@ -110,6 +114,7 @@ def summa(
         raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
     if output_shape is None:
         output_shape = (a.shape[0], b.shape[1])
+    spgemm_kernel = resolve_kernel(spgemm_backend)
 
     ledger = comm.ledger
     engine = comm.collectives
@@ -143,7 +148,7 @@ def summa(
             if a_block.nnz == 0 or b_block.nnz == 0:
                 continue
             t0 = time.perf_counter()
-            partial, pstats = spgemm(a_block, b_block, semiring, return_stats=True)
+            partial, pstats = spgemm_kernel(a_block, b_block, semiring, return_stats=True)
             compute_seconds[rank] += time.perf_counter() - t0
             stats = stats.merge(pstats)
             if partial.nnz:

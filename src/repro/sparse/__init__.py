@@ -18,8 +18,33 @@ Contents
   submatrices).
 * :mod:`repro.sparse.spgemm` — sort/expand/reduce semiring SpGEMM with
   flop (compression-factor) accounting.
+* :mod:`repro.sparse.gustavson` — row-wise Gustavson SpGEMM whose peak
+  intermediate memory is bounded by a per-row-group flop budget instead of
+  the total flop count.
+* :mod:`repro.sparse.kernels` — the SpGEMM **kernel registry**.  Backends
+  are selected by name (``"expand"`` or ``"gustavson"``) via
+  :func:`~repro.sparse.kernels.get_kernel` /
+  :func:`~repro.sparse.kernels.resolve_kernel`, and new ones can be added
+  with :func:`~repro.sparse.kernels.register_kernel`.
 * :mod:`repro.sparse.spops` — transpose, triangular extraction, parity
   pruning, elementwise filtering, conversions.
+
+Choosing a backend
+------------------
+Both kernels return bit-identical outputs and flop/nnz statistics (the
+randomized harness in ``tests/test_spgemm_equivalence.py`` asserts this), so
+the choice is purely about resources.  The deciding quantity is the
+*compression factor* ``flops / output nnz`` (§V-B of the paper): the
+``"expand"`` kernel materializes every partial product at once, so its peak
+memory grows with flops; the ``"gustavson"`` kernel forms the output in
+flop-bounded row groups, so its peak memory stays near the output size.
+With a high compression factor (popular k-mers, dense overlap structure)
+prefer ``"gustavson"``; at low compression ``"expand"``'s single vectorized
+pass is the faster choice.  End to end, the backend is picked with
+``PastisParams(spgemm_backend="gustavson")`` (or the matching
+:class:`repro.config.ReproConfig` default), which the pipeline routes
+through :class:`repro.distsparse.blocked_summa.BlockedSpGemm` into every
+SUMMA stage; ``benchmarks/bench_kernels.py`` reports a head-to-head.
 """
 
 from .semiring import (
@@ -35,6 +60,14 @@ from .coo import CooMatrix
 from .csr import CsrMatrix
 from .dcsc import DcscMatrix
 from .spgemm import spgemm, SpGemmStats
+from .gustavson import spgemm_gustavson
+from .kernels import (
+    DEFAULT_KERNEL,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
 from .spops import (
     transpose,
     triu,
@@ -58,7 +91,13 @@ __all__ = [
     "CsrMatrix",
     "DcscMatrix",
     "spgemm",
+    "spgemm_gustavson",
     "SpGemmStats",
+    "DEFAULT_KERNEL",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
     "transpose",
     "triu",
     "tril",

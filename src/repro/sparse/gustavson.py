@@ -1,0 +1,188 @@
+"""Row-wise Gustavson SpGEMM with bounded intermediate memory.
+
+The sort–expand–reduce kernel in :mod:`repro.sparse.spgemm` materializes
+*every* partial product of ``C = A·B`` at once, so its peak intermediate
+memory grows with the flop count.  When the compression factor
+(``flops / output nnz``, §V-B of the paper) is high — exactly the regime of
+the overlap matrix ``A·Aᵀ``, where popular k-mers make many partial products
+collapse onto few output entries — that peak dwarfs the output itself and
+caps the reachable problem size.
+
+:func:`spgemm_gustavson` instead forms the output row by row (Gustavson's
+algorithm): for each row ``i`` of ``A``, the rows of ``B`` selected by
+``A(i, :)`` are gathered and accumulated into ``C(i, :)``.  Rows are
+processed in flop-bounded groups, so peak intermediate memory is
+``O(max(batch_flops, max_row_flops))`` instead of ``O(total_flops)``.  The
+per-group accumulator is a stable sort by output coordinate — NumPy's
+vectorized stand-in for the per-row hash table of a scalar Gustavson kernel;
+it yields the same grouping while keeping partial products in deterministic
+order.
+
+The kernel is *bit-identical* to the sort–expand–reduce kernel, including
+for order-sensitive semirings such as
+:class:`repro.sparse.semiring.OverlapSemiring` (which keeps the first two
+seed pairs of each group): both kernels enumerate the partial products of an
+output entry in ascending inner-index order, with ties in original input
+order, and reduce them with the same ``semiring.reduce`` call.  The
+randomized cross-kernel harness in ``tests/test_spgemm_equivalence.py``
+asserts this equivalence, down to ``SpGemmStats.flops``/``output_nnz``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import CooMatrix
+from .csr import CsrMatrix
+from .semiring import ArithmeticSemiring, Semiring
+from .spgemm import SpGemmStats, reduce_by_coordinate
+
+#: Default flop budget per row group.  Large enough that NumPy per-call
+#: overheads amortize, small enough that intermediate memory stays a fraction
+#: of the total flop count on high-compression inputs.
+DEFAULT_BATCH_FLOPS = 1 << 16
+
+
+def _require_sorted_columns(csr: CsrMatrix, name: str) -> None:
+    """Reject CSR operands whose rows are not column-sorted.
+
+    Partial products must be enumerated in ascending inner-index order for
+    the output to be bit-identical to the other backends; ``from_coo``
+    guarantees that order, hand-built CSR may not.
+    """
+    if csr.nnz < 2:
+        return
+    decreasing = csr.indices[1:] < csr.indices[:-1]
+    row_start = np.zeros(csr.nnz - 1, dtype=bool)
+    interior = csr.indptr[1:-1]
+    row_start[interior[(interior > 0) & (interior < csr.nnz)] - 1] = True
+    if np.any(decreasing & ~row_start):
+        raise ValueError(
+            f"CSR operand {name!r} has unsorted columns within a row; "
+            "build it with CsrMatrix.from_coo to get the required order"
+        )
+
+
+def spgemm_gustavson(
+    a: CooMatrix | CsrMatrix,
+    b: CooMatrix | CsrMatrix,
+    semiring: Semiring | None = None,
+    return_stats: bool = False,
+    batch_flops: int = DEFAULT_BATCH_FLOPS,
+) -> CooMatrix | tuple[CooMatrix, SpGemmStats]:
+    """Compute ``C = A ·(semiring) B`` row-wise with bounded intermediates.
+
+    Parameters
+    ----------
+    a, b:
+        Operands with compatible shapes; COO inputs are converted to CSR.
+        CSR inputs are used as-is — the fast path for callers that already
+        hold row-compressed stripes — but must be in the row-major,
+        column-sorted entry order :meth:`CsrMatrix.from_coo` produces, since
+        the bit-identity guarantee depends on it; unsorted columns are
+        rejected.  (The other registered backend accepts COO only; select
+        the operand format for the backend you call.)
+    semiring:
+        Semiring supplying multiply/reduce; defaults to arithmetic (+, ×).
+    return_stats:
+        If true, also return :class:`~repro.sparse.spgemm.SpGemmStats`.
+    batch_flops:
+        Flop budget per row group.  A group never splits a row, so the
+        effective bound is ``max(batch_flops, max_row_flops)``.
+
+    Notes
+    -----
+    Output entries are sorted row-major with one entry per distinct output
+    coordinate, exactly as :func:`repro.sparse.spgemm.spgemm` produces them.
+    """
+    if semiring is None:
+        semiring = ArithmeticSemiring()
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
+    if batch_flops < 1:
+        raise ValueError("batch_flops must be >= 1")
+    out_shape = (a.shape[0], b.shape[1])
+
+    if isinstance(a, CsrMatrix):
+        _require_sorted_columns(a, "a")
+        a_csr = a
+    else:
+        a_csr = CsrMatrix.from_coo(a)
+    if isinstance(b, CsrMatrix):
+        _require_sorted_columns(b, "b")
+        b_csr = b
+    else:
+        b_csr = CsrMatrix.from_coo(b)
+
+    # per-A-entry cost: nnz of the B row its inner index selects
+    b_row_nnz = np.diff(b_csr.indptr)
+    entry_cost = b_row_nnz[a_csr.indices] if a_csr.nnz else np.empty(0, dtype=np.int64)
+    flops = int(entry_cost.sum())
+    if flops == 0:
+        result = CooMatrix.empty(out_shape, dtype=semiring.value_dtype)
+        stats = SpGemmStats(flops=0, output_nnz=0, intermediate_bytes=0, compression_factor=1.0)
+        return (result, stats) if return_stats else result
+
+    # cumulative flops at every A row boundary: cum[i] = flops of rows [0, i)
+    entry_cum = np.zeros(a_csr.nnz + 1, dtype=np.int64)
+    np.cumsum(entry_cost, out=entry_cum[1:])
+    row_cum = entry_cum[a_csr.indptr]
+
+    # row of every A entry (needed to label partial products)
+    a_entry_rows = np.repeat(np.arange(out_shape[0], dtype=np.int64), np.diff(a_csr.indptr))
+
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    peak_bytes = 0
+
+    r = 0
+    nrows = out_shape[0]
+    while r < nrows:
+        # largest row range [r, r_next) whose flops fit the budget (≥ 1 row)
+        r_next = int(np.searchsorted(row_cum, row_cum[r] + batch_flops, side="right")) - 1
+        r_next = min(max(r_next, r + 1), nrows)
+        lo, hi = int(a_csr.indptr[r]), int(a_csr.indptr[r_next])
+        r = r_next
+        if lo == hi:
+            continue
+        reps = entry_cost[lo:hi]
+        group_flops = int(entry_cum[hi] - entry_cum[lo])
+        if group_flops == 0:
+            continue
+
+        # expand: for each A entry in CSR order, all entries of B's row —
+        # ascending inner index with input-order ties, mirroring the
+        # expansion order of the sort–expand–reduce kernel
+        a_idx = np.repeat(np.arange(lo, hi, dtype=np.int64), reps)
+        starts = entry_cum[lo:hi] - entry_cum[lo]
+        local = np.arange(group_flops, dtype=np.int64) - np.repeat(starts, reps)
+        b_idx = np.repeat(b_csr.indptr[a_csr.indices[lo:hi]], reps) + local
+        out_rows = a_entry_rows[a_idx]
+        out_cols = b_csr.indices[b_idx]
+        products = np.asarray(semiring.multiply(a_csr.values[a_idx], b_csr.values[b_idx]))
+        peak_bytes = max(peak_bytes, out_rows.nbytes + out_cols.nbytes + products.nbytes)
+
+        # accumulate: stable group-by output coordinate, then semiring reduce
+        # (shared with the expand kernel — the bit-identity linchpin)
+        group_rows, group_cols, group_vals = reduce_by_coordinate(
+            out_rows, out_cols, products, semiring
+        )
+        rows_parts.append(group_rows)
+        cols_parts.append(group_cols)
+        vals_parts.append(group_vals)
+
+    result = CooMatrix(
+        out_shape,
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+        check=False,
+    )
+    stats = SpGemmStats(
+        flops=flops,
+        output_nnz=result.nnz,
+        intermediate_bytes=peak_bytes,
+        compression_factor=flops / result.nnz if result.nnz else 1.0,
+    )
+    return (result, stats) if return_stats else result

@@ -1,0 +1,91 @@
+"""SpGEMM kernel registry: select a backend by name.
+
+The package ships two interchangeable SpGEMM kernels:
+
+``"expand"``
+    The vectorized sort–expand–reduce kernel
+    (:func:`repro.sparse.spgemm.spgemm`).  Fastest when the compression
+    factor is low — intermediate memory is proportional to the flop count,
+    so little is wasted when most partial products are distinct outputs.
+
+``"gustavson"``
+    The row-wise Gustavson kernel
+    (:func:`repro.sparse.gustavson.spgemm_gustavson`).  Peak intermediate
+    memory is bounded by the per-row-group flop budget instead of the total
+    flop count, so it wins when the compression factor is high (popular
+    k-mers, dense overlap structure) — the regime that otherwise caps the
+    reachable problem size.
+
+Both produce bit-identical outputs and :class:`~repro.sparse.spgemm.SpGemmStats`
+flop/nnz accounting (asserted by ``tests/test_spgemm_equivalence.py``), so
+every consumer — :func:`repro.distsparse.summa.summa`,
+:class:`repro.distsparse.blocked_summa.BlockedSpGemm`, the pipeline via
+``PastisParams.spgemm_backend`` — selects one purely on performance grounds.
+
+A kernel is any callable with the signature
+``kernel(a, b, semiring=None, return_stats=False)`` accepting
+:class:`~repro.sparse.coo.CooMatrix` operands and returning a
+:class:`~repro.sparse.coo.CooMatrix` (plus stats when requested) — COO is
+the interchange format every backend must accept; extra operand formats
+(e.g. the Gustavson kernel's CSR fast path) are backend-specific extras.
+Register additional backends with :func:`register_kernel`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .gustavson import spgemm_gustavson
+from .spgemm import spgemm
+
+#: Signature shared by all SpGEMM backends.
+SpGemmKernel = Callable[..., object]
+
+#: Name of the backend used when none is requested.
+DEFAULT_KERNEL = "expand"
+
+_KERNELS: dict[str, SpGemmKernel] = {}
+
+
+def register_kernel(name: str, kernel: SpGemmKernel | None = None):
+    """Register ``kernel`` under ``name`` (usable as a decorator).
+
+    Raises ``ValueError`` if the name is already taken — backends are
+    global, and silent replacement would change results of unrelated runs.
+    """
+
+    def _register(fn: SpGemmKernel) -> SpGemmKernel:
+        if name in _KERNELS:
+            raise ValueError(f"SpGEMM kernel {name!r} is already registered")
+        _KERNELS[name] = fn
+        return fn
+
+    return _register(kernel) if kernel is not None else _register
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(name: str) -> SpGemmKernel:
+    """Look up a backend by name, with a helpful error for typos."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SpGEMM kernel {name!r}; available: {', '.join(available_kernels())}"
+        ) from None
+
+
+def resolve_kernel(kernel: str | SpGemmKernel | None) -> SpGemmKernel:
+    """Normalize a backend spec (name, callable, or ``None``) to a callable."""
+    if kernel is None:
+        return _KERNELS[DEFAULT_KERNEL]
+    if callable(kernel):
+        return kernel
+    return get_kernel(kernel)
+
+
+register_kernel("expand", spgemm)
+register_kernel("gustavson", spgemm_gustavson)

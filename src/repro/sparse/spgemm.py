@@ -138,6 +138,36 @@ def _expand_products(
     return out_rows, out_cols, a_value_idx, b_value_idx
 
 
+def reduce_by_coordinate(
+    out_rows: np.ndarray,
+    out_cols: np.ndarray,
+    products: np.ndarray,
+    semiring: Semiring,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable-sort partial products by output coordinate and reduce per group.
+
+    Shared epilogue of every SpGEMM backend: the *stable* lexsort preserves
+    the generation order of partial products within each output-coordinate
+    group, which order-sensitive semirings (e.g.
+    :class:`~repro.sparse.semiring.OverlapSemiring`, which keeps the first
+    two seed pairs) depend on.  Backends must produce partial products in
+    ascending inner-index order with input-order ties and route them through
+    this helper — that is what keeps their outputs bit-identical.
+    """
+    if out_rows.size == 0:
+        return out_rows, out_cols, np.empty(0, dtype=semiring.value_dtype)
+    order = np.lexsort((out_cols, out_rows))
+    out_rows = out_rows[order]
+    out_cols = out_cols[order]
+    products = products[order]
+    changed = np.empty(out_rows.size, dtype=bool)
+    changed[0] = True
+    changed[1:] = (np.diff(out_rows) != 0) | (np.diff(out_cols) != 0)
+    group_starts = np.flatnonzero(changed)
+    values = semiring.reduce(products, group_starts)
+    return out_rows[group_starts], out_cols[group_starts], values
+
+
 def spgemm(
     a: CooMatrix,
     b: CooMatrix,
@@ -183,18 +213,10 @@ def spgemm(
     )
 
     # group by output coordinate and reduce
-    order = np.lexsort((out_cols, out_rows))
-    out_rows = out_rows[order]
-    out_cols = out_cols[order]
-    products = np.asarray(products)[order]
-    changed = np.empty(out_rows.size, dtype=bool)
-    changed[0] = True
-    changed[1:] = (np.diff(out_rows) != 0) | (np.diff(out_cols) != 0)
-    group_starts = np.flatnonzero(changed)
-    values = semiring.reduce(products, group_starts)
-    result = CooMatrix(
-        out_shape, out_rows[group_starts], out_cols[group_starts], values, check=False
+    out_rows, out_cols, values = reduce_by_coordinate(
+        out_rows, out_cols, np.asarray(products), semiring
     )
+    result = CooMatrix(out_shape, out_rows, out_cols, values, check=False)
     stats = SpGemmStats(
         flops=flops,
         output_nnz=result.nnz,

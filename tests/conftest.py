@@ -21,6 +21,40 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+def random_sequence_pairs(seed, n_pairs=8, min_len=1, max_len=60,
+                          related_fraction=0.6, mutation_rate=0.15):
+    """Seeded random (a, b) code-array pairs for alignment property tests.
+
+    A mix of unrelated pairs and related pairs (mutated, possibly truncated
+    copies), so both the zero-score and the meaningful-alignment paths of the
+    kernels are exercised.  Shared by ``test_smith_waterman.py`` and
+    ``test_batch_align.py`` via the ``make_random_seq_pairs`` fixture.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(n_pairs):
+        a = rng.integers(0, 20, rng.integers(min_len, max_len + 1)).astype(np.uint8)
+        if rng.random() < related_fraction and a.size >= 4:
+            b = a.copy()
+            mutate = rng.random(b.size) < mutation_rate
+            b[mutate] = rng.integers(0, 20, int(mutate.sum()))
+            # occasionally truncate so begin/end coordinates move around
+            if rng.random() < 0.5:
+                lo = int(rng.integers(0, b.size // 4 + 1))
+                hi = int(b.size - rng.integers(0, b.size // 4 + 1))
+                b = b[lo:hi]
+        else:
+            b = rng.integers(0, 20, rng.integers(min_len, max_len + 1)).astype(np.uint8)
+        pairs.append((a, b))
+    return pairs
+
+
+@pytest.fixture(scope="session")
+def make_random_seq_pairs():
+    """Factory fixture exposing :func:`random_sequence_pairs` to test modules."""
+    return random_sequence_pairs
+
+
 @pytest.fixture(scope="session")
 def tiny_seqs():
     """A ~30-sequence synthetic dataset (fast unit-level fixture)."""

@@ -46,6 +46,16 @@ def test_defaults_match_paper_parameters():
     assert isinstance(ReproConfig(), ReproConfig)
 
 
+def test_default_spgemm_backend_is_wired_and_registered():
+    from repro.core.params import PastisParams
+    from repro.sparse import DEFAULT_KERNEL, available_kernels
+
+    assert DEFAULTS.spgemm_backend in available_kernels()
+    # one source of truth: registry default -> config -> params default
+    assert DEFAULTS.spgemm_backend == DEFAULT_KERNEL
+    assert PastisParams().spgemm_backend == DEFAULTS.spgemm_backend
+
+
 def _candidates_for(pairs, n, with_seeds):
     rows = np.array([p[0] for p in pairs], dtype=np.int64)
     cols = np.array([p[1] for p in pairs], dtype=np.int64)

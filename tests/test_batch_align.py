@@ -31,6 +31,24 @@ def test_batch_scores_match_reference_on_random_pairs():
         assert int(results["cells"][k]) == ref.cells
 
 
+@pytest.mark.parametrize("seed", [100, 101, 102])
+def test_batch_matches_reference_on_all_fields(seed, make_random_seq_pairs):
+    """Property test: the batched wavefront kernel reproduces the reference —
+    score, begin/end coordinates, match count and alignment length — on the
+    shared seeded generator of related and unrelated pairs."""
+    pairs = make_random_seq_pairs(seed, n_pairs=10)
+    results = batch_smith_waterman([a for a, _ in pairs], [b for _, b in pairs])
+    for k, (a, b) in enumerate(pairs):
+        ref = smith_waterman_reference(a, b)
+        assert int(results["score"][k]) == ref.score
+        assert int(results["begin_a"][k]) == ref.begin_a
+        assert int(results["end_a"][k]) == ref.end_a
+        assert int(results["begin_b"][k]) == ref.begin_b
+        assert int(results["end_b"][k]) == ref.end_b
+        assert int(results["matches"][k]) == ref.matches
+        assert int(results["length"][k]) == ref.length
+
+
 def test_batch_handles_heterogeneous_lengths():
     a_list = [encode("A" * 5), encode("ACDEFGHIKLMNPQRSTVWY" * 4), encode("WYW")]
     b_list = [encode("A" * 50), encode("ACDEFGHIKLMNPQRSTVWY" * 2), encode("PPP")]

@@ -57,6 +57,72 @@ def test_csr_memory_bytes():
     assert csr.memory_bytes() > 0
 
 
+# ------------------------------------------------- CSR round-trip edge cases
+# These paths back the Gustavson SpGEMM kernel, which walks CSR row ranges of
+# arbitrary (including empty and boundary) extent.
+def test_csr_empty_matrix_roundtrip():
+    coo = CooMatrix.empty((6, 9), dtype=np.float64)
+    csr = CsrMatrix.from_coo(coo)
+    assert csr.nnz == 0
+    assert csr.indptr.tolist() == [0] * 7
+    back = csr.to_coo()
+    assert back == coo
+    assert back.dtype == np.float64
+
+
+@pytest.mark.parametrize("shape", [(0, 7), (7, 0), (0, 0)])
+def test_csr_zero_dimension_roundtrip(shape):
+    csr = CsrMatrix.from_coo(CooMatrix.empty(shape))
+    assert csr.shape == shape
+    assert csr.nnz == 0
+    assert csr.to_coo().shape == shape
+    assert csr.row_nnz().size == shape[0]
+
+
+def test_csr_single_row_slices():
+    coo = CooMatrix((3, 4), np.array([0, 2, 2]), np.array([1, 0, 3]),
+                    np.array([1.0, 2.0, 3.0]))
+    csr = CsrMatrix.from_coo(coo)
+    for i in range(3):
+        sl = csr.row_slice(i, i + 1)
+        assert sl.shape == (1, 4)
+        cols, vals = csr.row(i)
+        assert sl.indices.tolist() == cols.tolist()
+        assert sl.values.tolist() == vals.tolist()
+        assert sl.to_coo() == coo.submatrix((i, i + 1), (0, 4))
+
+
+def test_csr_row_slice_boundaries():
+    coo = sample_coo()
+    csr = CsrMatrix.from_coo(coo)
+    nrows = csr.shape[0]
+    # full-range slice is the identity
+    assert csr.row_slice(0, nrows).to_coo() == csr.to_coo()
+    # out-of-range bounds are clamped
+    clamped = csr.row_slice(-5, nrows + 10)
+    assert clamped.shape[0] == nrows
+    assert clamped.nnz == csr.nnz
+    # empty slices at both boundaries
+    assert csr.row_slice(0, 0).nnz == 0
+    assert csr.row_slice(nrows, nrows).shape == (0, csr.shape[1])
+    # slice ending exactly at the last row
+    tail = csr.row_slice(nrows - 1, nrows)
+    assert tail.shape == (1, csr.shape[1])
+    assert tail.nnz == int(csr.row_nnz()[-1])
+
+
+def test_csr_roundtrip_with_duplicate_coordinates():
+    # duplicates are separate entries; CSR keeps them in stable row-major order
+    coo = CooMatrix((2, 3), np.array([0, 0, 1]), np.array([1, 1, 2]),
+                    np.array([1.0, 2.0, 3.0]))
+    csr = CsrMatrix.from_coo(coo)
+    assert csr.nnz == 3
+    cols, vals = csr.row(0)
+    assert cols.tolist() == [1, 1]
+    assert vals.tolist() == [1.0, 2.0]
+    assert csr.to_coo() == coo.copy().sort_rowmajor()
+
+
 # ---------------------------------------------------------------------- DCSC
 def test_dcsc_roundtrip():
     coo = sample_coo()
@@ -94,6 +160,26 @@ def test_dcsc_hypersparse_compression():
     dcsc = DcscMatrix.from_coo(sample_coo())
     assert dcsc.compression_ratio_vs_csc() > 10
     assert dcsc.memory_bytes() < (2000 + 1) * 8
+
+
+@pytest.mark.parametrize("shape", [(0, 7), (7, 0), (0, 0)])
+def test_dcsc_zero_dimension_roundtrip(shape):
+    dcsc = DcscMatrix.from_coo(CooMatrix.empty(shape))
+    assert dcsc.shape == shape
+    assert dcsc.nnz == 0
+    assert dcsc.nzc == 0
+    assert dcsc.to_coo().shape == shape
+
+
+def test_dcsc_single_nonempty_column_roundtrip():
+    coo = CooMatrix((4, 1000), np.array([3]), np.array([999]), np.array([2.5]))
+    dcsc = DcscMatrix.from_coo(coo)
+    assert dcsc.nzc == 1
+    assert dcsc.jc.tolist() == [999]
+    rows, vals = dcsc.column(999)
+    assert rows.tolist() == [3]
+    assert vals.tolist() == [2.5]
+    assert dcsc.to_coo().sort_rowmajor() == coo
 
 
 def test_dcsc_validation():

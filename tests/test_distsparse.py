@@ -111,6 +111,28 @@ def test_summa_equals_direct_spgemm(nprocs):
     assert np.allclose(merged.values, direct.values)
 
 
+@pytest.mark.parametrize("backend", ["expand", "gustavson"])
+def test_summa_backend_selection_preserves_results(backend):
+    """Every registered backend yields the same SUMMA result and flop count."""
+    comm = SimCommunicator(4)
+    a = random_coo((20, 60), 150, 7, dtype=np.int32)
+    a_dist = DistSparseMatrix.from_global_coo(a, comm)
+    at_dist = DistSparseMatrix.from_global_coo(a.transpose(), comm)
+    res = summa(a_dist, at_dist, OverlapSemiring(), spgemm_backend=backend)
+    baseline = summa(a_dist, at_dist, OverlapSemiring())
+    assert res.stats.flops == baseline.stats.flops
+    assert res.stats.output_nnz == baseline.stats.output_nnz
+    merged = res.to_global()
+    assert merged == baseline.to_global()
+
+
+def test_summa_unknown_backend_raises():
+    comm = SimCommunicator(4)
+    a = DistSparseMatrix.empty((4, 4), comm)
+    with pytest.raises(ValueError, match="unknown SpGEMM kernel"):
+        summa(a, a, ArithmeticSemiring(), spgemm_backend="bogus")
+
+
 def test_summa_charges_communication_and_compute():
     comm = SimCommunicator(4)
     a = random_coo((20, 20), 120, 5)

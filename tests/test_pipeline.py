@@ -113,6 +113,7 @@ def test_seed_extend_mode_runs_and_is_less_or_equally_sensitive(small_seqs, fast
     assert se.similarity_graph.num_edges <= pipeline_result.similarity_graph.num_edges
 
 
+@pytest.mark.slow
 def test_pipeline_recall_against_brute_force(small_seqs, fast_params, pipeline_result):
     """Seeded search with a permissive threshold recovers most true similar pairs."""
     truth = BruteForceSearch(
@@ -138,6 +139,17 @@ def test_ani_threshold_monotonicity(small_seqs, fast_params, pipeline_result):
     assert np.all(stricter.similarity_graph.edges["ani"] >= 0.9)
 
 
+def test_results_identical_across_spgemm_backends(small_seqs, fast_params, pipeline_result):
+    """The registry's promise end-to-end: swapping the SpGEMM backend through
+    ``PastisParams`` changes nothing about the results or the accounting."""
+    gustavson = PastisPipeline(fast_params.replace(spgemm_backend="gustavson")).run(small_seqs)
+    assert gustavson.params.spgemm_backend == "gustavson"
+    assert gustavson.similarity_graph == pipeline_result.similarity_graph
+    assert gustavson.stats.spgemm_flops == pipeline_result.stats.spgemm_flops
+    assert gustavson.stats.candidates_discovered == pipeline_result.stats.candidates_discovered
+    assert gustavson.stats.alignments_performed == pipeline_result.stats.alignments_performed
+
+
 def test_pipeline_input_validation(small_seqs, fast_params):
     with pytest.raises(ValueError, match="perfect square"):
         PastisPipeline(fast_params.replace(nodes=3)).run(small_seqs)
@@ -154,6 +166,7 @@ def test_measured_clock_mode(small_seqs, fast_params):
     assert measured.stats.time_align > 0
 
 
+@pytest.mark.slow
 def test_reduced_alphabet_seeding_finds_at_least_as_many_candidates(small_seqs, fast_params,
                                                                     pipeline_result):
     murphy = PastisPipeline(

@@ -95,6 +95,21 @@ def test_cells_metric():
     assert smith_waterman_reference(a, b).cells == 18
 
 
+@pytest.mark.parametrize("seed", range(4))
+def test_wavefront_matches_reference_on_all_fields(seed, make_random_seq_pairs):
+    """Property test: the wavefront kernel reproduces the reference exactly —
+    score, begin/end coordinates, match count and alignment length — on a
+    seeded mix of related and unrelated random pairs."""
+    for a, b in make_random_seq_pairs(seed, n_pairs=6):
+        ref = smith_waterman_reference(a, b)
+        vec = smith_waterman(a, b)
+        assert vec.score == ref.score
+        assert (vec.begin_a, vec.end_a) == (ref.begin_a, ref.end_a)
+        assert (vec.begin_b, vec.end_b) == (ref.begin_b, ref.end_b)
+        assert vec.matches == ref.matches
+        assert vec.length == ref.length
+
+
 @pytest.mark.parametrize("seed", range(6))
 def test_reference_and_vectorized_agree_on_random_pairs(seed):
     rng = np.random.default_rng(seed)
