@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .sparse.kernels import DEFAULT_KERNEL
+from .sparse.kernels import DEFAULT_OVERLAP_KERNEL
 
 
 @dataclass(frozen=True)
@@ -38,12 +38,17 @@ class ReproConfig:
         Default blocking factor (paper production run: 20x20; strong scaling
         experiments use 8x8).
     spgemm_backend:
-        Default SpGEMM kernel, by registry name (``"expand"`` or
-        ``"gustavson"``).  Mirrors
-        :data:`repro.sparse.kernels.DEFAULT_KERNEL` — the registry is the
-        single source of truth, so ``resolve_kernel(None)`` and this config
-        can never disagree.  This value seeds ``PastisParams.spgemm_backend``,
-        which individual runs override.
+        Default SpGEMM kernel for the pipeline's overlap-semiring multiply,
+        by registry name (``"expand"``, ``"gustavson"``, or ``"auto"``).
+        Mirrors :data:`repro.sparse.kernels.DEFAULT_OVERLAP_KERNEL` — the
+        registry is the single source of truth, so the two can never
+        disagree.  ``"gustavson"`` since the ``bench_kernels.py --smoke``
+        head-to-head confirmed bit-identical results with bounded
+        intermediate memory at the overlap matrix's high compression
+        factors; generic consumers calling ``resolve_kernel(None)`` still
+        get :data:`repro.sparse.kernels.DEFAULT_KERNEL` (``"expand"``).
+        This value seeds ``PastisParams.spgemm_backend``, which individual
+        runs override.
     seed:
         Default RNG seed used by synthetic data generators.
     """
@@ -55,7 +60,7 @@ class ReproConfig:
     ani_threshold: float = 0.30
     coverage_threshold: float = 0.70
     default_blocking: tuple[int, int] = field(default=(8, 8))
-    spgemm_backend: str = DEFAULT_KERNEL
+    spgemm_backend: str = DEFAULT_OVERLAP_KERNEL
     seed: int = 0
 
 

@@ -8,7 +8,10 @@ substrates (:mod:`repro.sequences`, :mod:`repro.sparse`, :mod:`repro.align`,
 * :mod:`repro.core.kmer_matrix` — the distributed sequence-by-k-mer matrix;
 * :mod:`repro.core.blocking` — output blocking schedules;
 * :mod:`repro.core.load_balance` — the triangularity- and index-based schemes (§VI-B);
-* :mod:`repro.core.preblocking` — the pre-blocking overlap model (§VI-C);
+* :mod:`repro.core.preblocking` — the closed-form pre-blocking model (§VI-C);
+* :mod:`repro.core.engine` — the stage-graph execution engine: per-block
+  ``discover → prune → align → accumulate`` tasks, the serial and overlapped
+  (pre-blocking) schedulers, and the streaming similarity-graph accumulator;
 * :mod:`repro.core.align_phase` — distributed batch alignment of block candidates;
 * :mod:`repro.core.filtering` — common-k-mer and ANI/coverage filters;
 * :mod:`repro.core.similarity_graph` — the output graph;
@@ -29,7 +32,18 @@ from .load_balance import (
     pairs_align_exactly_once,
 )
 from .preblocking import PreblockingModel, PreblockingReport
-from .blocking import make_schedule, schedule_for_num_blocks
+from .engine import (
+    BlockTask,
+    OverlappedScheduler,
+    ScheduleOutcome,
+    Scheduler,
+    SerialScheduler,
+    StageContext,
+    StageTimeline,
+    StreamingGraphAccumulator,
+    make_scheduler,
+)
+from .blocking import make_block_tasks, make_schedule, schedule_for_num_blocks
 from .costing import CostModel
 from .align_phase import AlignmentPhase, EDGE_DTYPE
 from .kmer_matrix import build_kmer_coo, build_distributed_kmer_matrix, KmerMatrixInfo
@@ -51,6 +65,16 @@ __all__ = [
     "pairs_align_exactly_once",
     "PreblockingModel",
     "PreblockingReport",
+    "BlockTask",
+    "OverlappedScheduler",
+    "ScheduleOutcome",
+    "Scheduler",
+    "SerialScheduler",
+    "StageContext",
+    "StageTimeline",
+    "StreamingGraphAccumulator",
+    "make_scheduler",
+    "make_block_tasks",
     "make_schedule",
     "schedule_for_num_blocks",
     "CostModel",

@@ -92,11 +92,17 @@ class AlignmentPhase:
         )
 
     # ------------------------------------------------------------------ execution
-    def align_block(self, per_rank_candidates: list[CooMatrix]) -> BlockAlignmentOutput:
+    def align_block(
+        self, per_rank_candidates: list[CooMatrix], charge: bool = True
+    ) -> BlockAlignmentOutput:
         """Align each rank's candidate pairs and filter to similar pairs.
 
         ``per_rank_candidates`` holds, for every rank, the (already pruned and
-        filtered) overlap elements in global coordinates.
+        filtered) overlap elements in global coordinates.  With
+        ``charge=False`` the ledger is left untouched: the per-rank seconds
+        and counters are only returned, so a scheduler can charge them itself
+        (possibly scaled by a contention multiplier — see
+        :mod:`repro.core.engine.schedulers`).
         """
         nranks = self.comm.size
         lengths = self.sequences.lengths
@@ -132,9 +138,10 @@ class AlignmentPhase:
                 seconds = measured
             seconds_per_rank[rank] = seconds
             kernel_seconds += self.cost_model.alignment_kernel_seconds(cells)
-            self.comm.ledger.charge(rank, "align", seconds)
-            self.comm.ledger.count(rank, "alignments", rows.size)
-            self.comm.ledger.count(rank, "alignment_cells", cells)
+            if charge:
+                self.comm.ledger.charge(rank, "align", seconds)
+                self.comm.ledger.count(rank, "alignments", rows.size)
+                self.comm.ledger.count(rank, "alignment_cells", cells)
 
             mask = similarity_mask(
                 results,

@@ -1,0 +1,54 @@
+"""The stage-graph execution engine of the incremental similarity search.
+
+The pipeline's block loop is decomposed into an explicit graph of per-block
+stages, executed by pluggable schedulers:
+
+* :mod:`repro.core.engine.stages` — :class:`BlockTask`, one node of the
+  graph per output block, with the four stages ``discover`` (blocked SUMMA
+  SpGEMM), ``prune`` (load balancing + common-k-mer filter), ``align``
+  (batched Smith–Waterman) and ``accumulate`` (stream edges out, discard
+  the block), plus the shared :class:`StageContext`;
+* :mod:`repro.core.engine.accumulator` — the streaming
+  :class:`StreamingGraphAccumulator` that consumes each block's edges the
+  moment they are produced, so peak memory is bounded by the *live* blocks
+  (one for the serial schedule, two under pre-blocking) instead of the sum
+  of all block outputs;
+* :mod:`repro.core.engine.timeline` — the per-block scheduled timings from
+  which the Table-I :class:`~repro.core.preblocking.PreblockingReport` is
+  *derived* (it is no longer computed post hoc by
+  ``PreblockingModel.evaluate`` inside the pipeline);
+* :mod:`repro.core.engine.schedulers` — the scheduler contract and its two
+  implementations: :class:`SerialScheduler` (bulk-synchronous, bit-identical
+  to the historical monolithic loop) and :class:`OverlappedScheduler`
+  (§VI-C pre-blocking: ``discover(b+1)`` is interleaved with ``align(b)`` on
+  the simulated clock, with the paper's contention slowdowns charged as the
+  schedule is executed).
+
+Schedulers — not the pipeline — own execution order and ledger charging;
+the pipeline builds the task list and hands it over.
+"""
+
+from .accumulator import StreamingGraphAccumulator
+from .schedulers import (
+    OverlappedScheduler,
+    ScheduleOutcome,
+    Scheduler,
+    SerialScheduler,
+    make_scheduler,
+)
+from .stages import BlockRecord, BlockTask, StageContext
+from .timeline import BlockTiming, StageTimeline
+
+__all__ = [
+    "BlockRecord",
+    "BlockTask",
+    "BlockTiming",
+    "OverlappedScheduler",
+    "ScheduleOutcome",
+    "Scheduler",
+    "SerialScheduler",
+    "StageContext",
+    "StageTimeline",
+    "StreamingGraphAccumulator",
+    "make_scheduler",
+]

@@ -1,0 +1,162 @@
+"""Block tasks: the nodes of the stage graph.
+
+One :class:`BlockTask` per output block of the blocked overlap computation,
+with four explicit stages:
+
+``discover``
+    Run the Blocked 2D Sparse SUMMA for this block and derive the per-rank
+    sparse (SpGEMM + stripe-traversal) seconds under the configured clock.
+``prune``
+    Apply the load-balancing scheme's element selection, drop self pairs,
+    and apply the common-k-mer threshold — per rank.
+``align``
+    Batch-align the surviving candidate pairs (no ledger charging here; the
+    scheduler owns charging so it can apply contention multipliers).
+``accumulate``
+    Stream the block's similar pairs into the
+    :class:`~repro.core.engine.accumulator.StreamingGraphAccumulator`,
+    snapshot the :class:`BlockRecord`, and discard the block's candidate
+    matrices (the "incremental" part of incremental similarity search).
+
+Stages communicate through fields on the task; a stage may only run after
+its predecessor (asserted).  Schedulers decide *when* each stage of each
+task runs — the serial scheduler finishes a task before starting the next,
+the overlapped scheduler interleaves ``discover(b+1)`` with ``align(b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...distsparse.blocked_summa import BlockedSpGemm, BlockSchedule, OutputBlock
+from ...mpi.communicator import SimCommunicator
+from ...sparse.coo import CooMatrix
+from ..align_phase import AlignmentPhase, BlockAlignmentOutput
+from ..costing import CostModel
+from ..filtering import drop_self_pairs, filter_common_kmers
+from ..load_balance import BlockKind, LoadBalancingScheme, classify_block
+from ..params import PastisParams
+from .accumulator import StreamingGraphAccumulator
+
+
+@dataclass
+class BlockRecord:
+    """Per-block bookkeeping used by the figure benchmarks.
+
+    Timing vectors hold *raw* (uninflated) per-rank seconds; contention
+    multipliers applied by an overlapping scheduler live in the run's
+    :class:`~repro.core.engine.timeline.StageTimeline`, so records are
+    comparable across schedulers.
+    """
+
+    block_row: int
+    block_col: int
+    kind: BlockKind
+    candidates: int
+    aligned_pairs: int
+    similar_pairs: int
+    sparse_seconds_per_rank: np.ndarray
+    align_seconds_per_rank: np.ndarray
+    pairs_per_rank: np.ndarray
+    cells_per_rank: np.ndarray
+    block_bytes: int
+
+
+@dataclass
+class StageContext:
+    """Shared state every stage executes against.
+
+    Built once per run by the pipeline; schedulers thread it through the
+    stages.  ``stripe_seconds`` is the per-block cost of re-traversing the
+    operand stripes (the "split sparse computations" overhead of §VI-A),
+    precomputed because it is identical for every block.
+    """
+
+    params: PastisParams
+    comm: SimCommunicator
+    cost_model: CostModel
+    engine: BlockedSpGemm
+    aligner: AlignmentPhase
+    scheme: LoadBalancingScheme
+    schedule: BlockSchedule
+    accumulator: StreamingGraphAccumulator
+    stripe_seconds: float = 0.0
+
+
+@dataclass
+class BlockTask:
+    """One output block's journey through discover → prune → align → accumulate."""
+
+    block_row: int
+    block_col: int
+    block: OutputBlock | None = field(default=None, repr=False)
+    sparse_seconds: np.ndarray | None = field(default=None, repr=False)
+    candidates: list[CooMatrix] | None = field(default=None, repr=False)
+    output: BlockAlignmentOutput | None = field(default=None, repr=False)
+    record: BlockRecord | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ stages
+    def discover(self, ctx: StageContext) -> OutputBlock:
+        """Compute this block via SUMMA and derive per-rank sparse seconds."""
+        assert self.block is None, "discover ran twice"
+        block = ctx.engine.compute_block(self.block_row, self.block_col)
+        if ctx.params.clock == "modeled":
+            sparse_seconds = np.array(
+                [
+                    ctx.cost_model.spgemm_seconds(f) + ctx.stripe_seconds
+                    for f in block.result.flops_per_rank
+                ]
+            )
+        else:
+            sparse_seconds = np.asarray(block.result.compute_seconds_per_rank, dtype=float)
+        self.block = block
+        self.sparse_seconds = sparse_seconds
+        ctx.accumulator.block_computed(block.memory_bytes())
+        return block
+
+    def prune(self, ctx: StageContext) -> list[CooMatrix]:
+        """Select the elements each rank will align."""
+        assert self.block is not None, "prune before discover"
+        per_rank: list[CooMatrix] = []
+        for rank_piece in self.block.result.per_rank:
+            pruned = ctx.scheme.prune(rank_piece)
+            pruned = drop_self_pairs(pruned)
+            pruned = filter_common_kmers(pruned, ctx.params.common_kmer_threshold)
+            per_rank.append(pruned)
+        self.candidates = per_rank
+        return per_rank
+
+    def align(self, ctx: StageContext) -> BlockAlignmentOutput:
+        """Align the pruned candidates (ledger charging deferred to the scheduler)."""
+        assert self.candidates is not None, "align before prune"
+        self.output = ctx.aligner.align_block(self.candidates, charge=False)
+        return self.output
+
+    def accumulate(self, ctx: StageContext) -> BlockRecord:
+        """Stream edges out, snapshot the record, and discard the block."""
+        assert self.block is not None and self.output is not None, "accumulate before align"
+        block, output = self.block, self.output
+        block_bytes = block.memory_bytes()
+        self.record = BlockRecord(
+            block_row=self.block_row,
+            block_col=self.block_col,
+            kind=classify_block(
+                ctx.schedule.row_range(self.block_row), ctx.schedule.col_range(self.block_col)
+            ),
+            candidates=block.nnz,
+            aligned_pairs=output.pairs_aligned,
+            similar_pairs=int(output.edges.size),
+            sparse_seconds_per_rank=self.sparse_seconds,
+            align_seconds_per_rank=output.align_seconds_per_rank,
+            pairs_per_rank=output.pairs_aligned_per_rank,
+            cells_per_rank=output.cells_per_rank,
+            block_bytes=block_bytes,
+        )
+        ctx.accumulator.consume(output.edges)
+        ctx.accumulator.block_discarded(block_bytes)
+        # drop the bulky stage products; the record and the streamed edges survive
+        self.block = None
+        self.candidates = None
+        return self.record

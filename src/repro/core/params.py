@@ -68,10 +68,18 @@ class PastisParams:
     spgemm_backend:
         Local SpGEMM kernel used inside every SUMMA stage, by registry name
         (see :mod:`repro.sparse.kernels`): ``"expand"`` (sort–expand–reduce,
-        fastest at low compression factors) or ``"gustavson"`` (row-wise
-        with bounded intermediate memory, preferred when the compression
-        factor is high).  Results are bit-identical either way.  The default
-        comes from :data:`repro.config.DEFAULTS`.
+        fastest at low compression factors), ``"gustavson"`` (row-wise with
+        bounded intermediate memory, preferred when the compression factor
+        is high), or ``"auto"`` (pick per SUMMA stage from the predicted
+        compression factor).  Results are bit-identical in every case.  The
+        default comes from :data:`repro.config.DEFAULTS` — ``"gustavson"``
+        for the pipeline's overlap semiring, the memory-safe choice at the
+        high compression factors of ``A·Aᵀ``.
+    batch_flops:
+        Flop budget per row group of the ``"gustavson"`` backend (and of
+        ``"auto"`` when it picks it); bounds the kernel's peak intermediate
+        memory for memory-constrained runs.  ``None`` uses the kernel's
+        default; backends without batching reject an explicit value.
     """
 
     kmer_length: int = 6
@@ -93,6 +101,7 @@ class PastisParams:
     clock: str = "modeled"
     alignment_mode: str = "full_sw"
     spgemm_backend: str = DEFAULTS.spgemm_backend
+    batch_flops: int | None = None
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +125,8 @@ class PastisParams:
                 f"spgemm_backend must be one of {available_kernels()}, "
                 f"got {self.spgemm_backend!r}"
             )
+        if self.batch_flops is not None and self.batch_flops < 1:
+            raise ValueError("batch_flops must be >= 1 (or None for the kernel default)")
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         if self.num_blocks < 1:

@@ -12,11 +12,26 @@ distributed runtime:
 3. **similarity graph** — keep the pairs passing the ANI/coverage thresholds
    and assemble the output graph.
 
-All communication, IO and computation is charged to the per-rank cost ledger,
-and the optional pre-blocking model (§VI-C) rearranges the per-block
-component times into the overlapped schedule.  The result object carries the
-similarity graph, Table-IV-style statistics, the per-block records used by
-the figure benchmarks, and the raw ledger.
+Execution order of the per-block work is owned by the **stage-graph
+execution engine** (:mod:`repro.core.engine`): each output block becomes a
+:class:`~repro.core.engine.stages.BlockTask` with explicit
+``discover → prune → align → accumulate`` stages, run by a pluggable
+scheduler — :class:`~repro.core.engine.schedulers.SerialScheduler` for the
+bulk-synchronous schedule, or (with ``pre_blocking=True``)
+:class:`~repro.core.engine.schedulers.OverlappedScheduler`, which interleaves
+``discover(b+1)`` with ``align(b)`` on the simulated clock and charges the
+§VI-C contention slowdowns as it schedules.  Edges stream into an
+incremental :class:`~repro.core.engine.accumulator.StreamingGraphAccumulator`
+so block outputs are discarded as soon as they are consumed; peak live
+memory is reported through the result's
+:class:`~repro.metrics.memory.MemoryTracker`.
+
+All communication, IO and computation is charged to the per-rank cost
+ledger.  The result object carries the similarity graph, Table-IV-style
+statistics, the per-block records used by the figure benchmarks, the
+Table-I :class:`~repro.core.preblocking.PreblockingReport` (now *derived*
+from the executed schedule's timeline, not recomputed post hoc), and the
+raw ledger.
 """
 
 from __future__ import annotations
@@ -27,40 +42,30 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..distsparse.blocked_summa import BlockedSpGemm
+from ..metrics.memory import MemoryTracker
 from ..mpi.communicator import SimCommunicator
 from ..mpi.io import ParallelIoModel
 from ..mpi.process_grid import is_perfect_square
 from ..distsparse.distribute import distribute_sequences
 from ..sequences.sequence import SequenceSet
-from ..sparse.coo import CooMatrix
 from ..sparse.semiring import OverlapSemiring
-from .align_phase import AlignmentPhase, EDGE_DTYPE
-from .blocking import make_schedule
+from .align_phase import AlignmentPhase, EDGE_DTYPE  # noqa: F401  (EDGE_DTYPE re-export)
+from .blocking import make_block_tasks
 from .costing import CostModel
-from .filtering import drop_self_pairs, filter_common_kmers
+from .engine import (
+    BlockRecord,
+    ScheduleOutcome,
+    StageContext,
+    StageTimeline,
+    StreamingGraphAccumulator,
+    make_scheduler,
+)
+from .engine.schedulers import OVERLAP_HIDDEN_CATEGORY
 from .kmer_matrix import KmerMatrixInfo, build_distributed_kmer_matrix
-from .load_balance import BlockKind, classify_block, make_scheme
 from .params import PastisParams
-from .preblocking import PreblockingModel, PreblockingReport
+from .preblocking import PreblockingReport
 from .similarity_graph import SimilarityGraph
 from .stats import SearchStats
-
-
-@dataclass
-class BlockRecord:
-    """Per-block bookkeeping used by the figure benchmarks."""
-
-    block_row: int
-    block_col: int
-    kind: BlockKind
-    candidates: int
-    aligned_pairs: int
-    similar_pairs: int
-    sparse_seconds_per_rank: np.ndarray
-    align_seconds_per_rank: np.ndarray
-    pairs_per_rank: np.ndarray
-    cells_per_rank: np.ndarray
-    block_bytes: int
 
 
 @dataclass
@@ -74,6 +79,9 @@ class SearchResult:
     kmer_info: KmerMatrixInfo
     block_records: list[BlockRecord] = field(default_factory=list)
     preblocking_report: PreblockingReport | None = None
+    timeline: StageTimeline | None = None
+    memory: MemoryTracker | None = None
+    scheduler: str = "serial"
 
     @property
     def ledger(self):
@@ -102,7 +110,7 @@ class PastisPipeline:
         comm = SimCommunicator(params.nodes)
         cost_model = CostModel(node=comm.cluster.node)
         io_model = ParallelIoModel(cluster=comm.cluster, ledger=comm.ledger)
-        scoring_category_exclude = ("spgemm_measured",)
+        scoring_category_exclude = ("spgemm_measured", OVERLAP_HIDDEN_CATEGORY)
 
         # ---- input IO and sequence exchange -------------------------------------
         io_model.collective_read(
@@ -120,10 +128,8 @@ class PastisPipeline:
             else kmer_info.build_seconds / comm.size,
         )
 
-        # ---- blocked overlap computation + alignment ------------------------------
-        schedule = make_schedule(len(sequences), params)
-        scheme = make_scheme(params.load_balancing)
-        blocks = scheme.blocks_to_compute(schedule)
+        # ---- stage graph: blocked overlap computation + alignment ------------------
+        schedule, scheme, tasks = make_block_tasks(len(sequences), params)
         engine = BlockedSpGemm(
             a_dist,
             at_dist,
@@ -131,81 +137,36 @@ class PastisPipeline:
             schedule,
             compute_category="spgemm_measured",
             spgemm_backend=params.spgemm_backend,
+            batch_flops=params.batch_flops,
         )
         aligner = AlignmentPhase(sequences, params, comm, cost_model)
-
-        block_records: list[BlockRecord] = []
-        edge_parts: list[np.ndarray] = []
-        candidates_discovered = 0
-        alignments_performed = 0
-        alignment_cells = 0
-        kernel_seconds = 0.0
-        measured_align_seconds = 0.0
-
-        for block_row, block_col in blocks:
-            block = engine.compute_block(block_row, block_col)
-            candidates_discovered += block.nnz
-
-            # charge SpGEMM under the configured clock.  Besides the partial
-            # products, every block re-traverses its row/column stripes of A
-            # and Aᵀ — the "split sparse computations" overhead of §VI-A that
-            # makes the sparse multiply grow with the number of blocks.
-            if params.clock == "modeled":
-                stripe_bytes_per_rank = (
-                    (a_dist.nnz / schedule.br + at_dist.nnz / schedule.bc) / comm.size * 20.0
-                )
-                stripe_seconds = cost_model.sparse_traversal_seconds(stripe_bytes_per_rank)
-                sparse_seconds = np.array(
-                    [
-                        cost_model.spgemm_seconds(f) + stripe_seconds
-                        for f in block.result.flops_per_rank
-                    ]
-                )
-            else:
-                sparse_seconds = np.asarray(block.result.compute_seconds_per_rank, dtype=float)
-            for rank in range(comm.size):
-                comm.ledger.charge(rank, "spgemm", float(sparse_seconds[rank]))
-
-            # prune for symmetry / parity, apply the common-k-mer threshold
-            per_rank_candidates: list[CooMatrix] = []
-            for rank_piece in block.result.per_rank:
-                pruned = scheme.prune(rank_piece)
-                pruned = drop_self_pairs(pruned)
-                pruned = filter_common_kmers(pruned, params.common_kmer_threshold)
-                per_rank_candidates.append(pruned)
-
-            output = aligner.align_block(per_rank_candidates)
-            alignments_performed += output.pairs_aligned
-            alignment_cells += output.cells
-            kernel_seconds += output.kernel_seconds
-            measured_align_seconds += output.measured_seconds
-            if output.edges.size:
-                edge_parts.append(output.edges)
-
-            block_records.append(
-                BlockRecord(
-                    block_row=block_row,
-                    block_col=block_col,
-                    kind=classify_block(
-                        schedule.row_range(block_row), schedule.col_range(block_col)
-                    ),
-                    candidates=block.nnz,
-                    aligned_pairs=output.pairs_aligned,
-                    similar_pairs=int(output.edges.size),
-                    sparse_seconds_per_rank=sparse_seconds,
-                    align_seconds_per_rank=output.align_seconds_per_rank,
-                    pairs_per_rank=output.pairs_aligned_per_rank,
-                    cells_per_rank=output.cells_per_rank,
-                    block_bytes=block.memory_bytes(),
-                )
-            )
+        accumulator = StreamingGraphAccumulator(n_vertices=len(sequences))
+        # every block re-traverses its row/column stripes of A and Aᵀ — the
+        # "split sparse computations" overhead of §VI-A that makes the sparse
+        # multiply grow with the number of blocks
+        stripe_bytes_per_rank = (
+            (a_dist.nnz / schedule.br + at_dist.nnz / schedule.bc) / comm.size * 20.0
+        )
+        ctx = StageContext(
+            params=params,
+            comm=comm,
+            cost_model=cost_model,
+            engine=engine,
+            aligner=aligner,
+            scheme=scheme,
+            schedule=schedule,
+            accumulator=accumulator,
+            stripe_seconds=cost_model.sparse_traversal_seconds(stripe_bytes_per_rank),
+        )
+        scheduler = make_scheduler("overlapped" if params.pre_blocking else "serial")
+        outcome: ScheduleOutcome = scheduler.run(tasks, ctx)
+        block_records = outcome.records
 
         # ---- output IO -------------------------------------------------------------
-        edges = np.concatenate(edge_parts) if edge_parts else np.zeros(0, dtype=EDGE_DTYPE)
-        graph = SimilarityGraph.from_edges(edges, len(sequences))
+        graph = accumulator.finalize()
         io_model.collective_write(ParallelIoModel.triples_bytes(graph.num_edges))
 
-        # ---- totals, pre-blocking, statistics ---------------------------------------
+        # ---- totals, pre-blocking view, statistics ----------------------------------
         ledger = comm.ledger
         time_align = ledger.component_time("align")
         time_spgemm = ledger.component_time("spgemm")
@@ -215,12 +176,8 @@ class PastisPipeline:
         time_comm = ledger.component_time("comm")
         other_seconds = time_sparse_other + time_io + time_cwait + time_comm
 
-        preblocking_report: PreblockingReport | None = None
-        if params.pre_blocking and block_records:
-            model = PreblockingModel()
-            sparse_matrix = np.stack([rec.sparse_seconds_per_rank for rec in block_records])
-            align_matrix = np.stack([rec.align_seconds_per_rank for rec in block_records])
-            preblocking_report = model.evaluate(sparse_matrix, align_matrix, other_seconds)
+        preblocking_report = outcome.timeline.preblocking_report(other_seconds)
+        if preblocking_report is not None:
             time_total = preblocking_report.total_seconds_pre
             time_align_reported = preblocking_report.align_seconds_pre
             time_spgemm_reported = preblocking_report.sparse_seconds_pre
@@ -233,11 +190,11 @@ class PastisPipeline:
             n_sequences=len(sequences),
             nodes=params.nodes,
             blocks_total=schedule.num_blocks,
-            blocks_computed=len(blocks),
-            candidates_discovered=candidates_discovered,
-            alignments_performed=alignments_performed,
+            blocks_computed=len(tasks),
+            candidates_discovered=outcome.candidates_discovered,
+            alignments_performed=outcome.alignments_performed,
             similar_pairs=graph.num_edges,
-            alignment_cells=alignment_cells,
+            alignment_cells=outcome.alignment_cells,
             spgemm_flops=int(engine.total_stats.flops),
             compression_factor=engine.total_stats.compression_factor,
             peak_block_bytes=engine.peak_block_bytes,
@@ -248,11 +205,17 @@ class PastisPipeline:
             time_cwait=time_cwait,
             time_comm=time_comm,
             time_total=time_total,
-            kernel_seconds=kernel_seconds,
+            kernel_seconds=outcome.kernel_seconds,
             wall_seconds=time.perf_counter() - wall_start,
             imbalance_align_percent=_imbalance_percent(ledger.per_rank("align")),
             imbalance_sparse_percent=_imbalance_percent(ledger.per_rank("spgemm")),
-            extras={"measured_align_seconds": measured_align_seconds},
+            extras={
+                "measured_align_seconds": outcome.measured_align_seconds,
+                "peak_live_block_bytes": float(accumulator.peak_live_block_bytes),
+                "retained_block_bytes": float(accumulator.retained_block_bytes),
+                "edge_buffer_bytes": float(accumulator.memory.peak("edge_buffer")),
+                "spgemm_row_groups": float(engine.total_stats.row_groups),
+            },
         )
         return SearchResult(
             similarity_graph=graph,
@@ -262,6 +225,9 @@ class PastisPipeline:
             kmer_info=kmer_info,
             block_records=block_records,
             preblocking_report=preblocking_report,
+            timeline=outcome.timeline,
+            memory=accumulator.memory,
+            scheduler=scheduler.name,
         )
 
 

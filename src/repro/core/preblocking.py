@@ -10,11 +10,21 @@ multiply (growing with the number of blocks) — but the *total* drops from the
 sum of the two components to roughly the maximum of the two, a ~30% saving
 for the index-based scheme and ~20% for the triangularity-based one.
 
-:class:`PreblockingModel` reproduces that schedule arithmetic from the
-per-block, per-rank component times gathered during the run, including the
-efficiency metric of Table I (``max(align, sparse) / achieved combined
-time``), whose degradation under load imbalance is exactly what makes the
-triangularity-based scheme benefit less.
+:class:`PreblockingModel` is the *closed-form reference* for that schedule
+arithmetic, including the efficiency metric of Table I (``max(align,
+sparse) / achieved combined time``), whose degradation under load imbalance
+is exactly what makes the triangularity-based scheme benefit less.
+
+The pipeline itself no longer calls :meth:`PreblockingModel.evaluate`: the
+overlap is executed live by
+:class:`repro.core.engine.schedulers.OverlappedScheduler`, which shares this
+model's contention parameterization, advances the simulated per-rank clock
+step by step, and records a
+:class:`~repro.core.engine.timeline.StageTimeline` from which the
+:class:`PreblockingReport` (the Table-I row) is derived.  The closed form
+remains for the Table-I benchmark and as a cross-check: on the same
+per-block times it must produce the same report as the executed schedule
+(asserted in ``tests/test_engine.py``).
 """
 
 from __future__ import annotations

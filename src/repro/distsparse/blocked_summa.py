@@ -136,7 +136,13 @@ class BlockedSpGemm:
         Ledger category local multiplies are charged to.
     spgemm_backend:
         Registry name of the local SpGEMM kernel every SUMMA stage uses
-        (see :mod:`repro.sparse.kernels`); ``None`` selects the default.
+        (see :mod:`repro.sparse.kernels`); ``None`` selects the default,
+        ``"auto"`` re-selects per stage from the predicted compression
+        factor.
+    batch_flops:
+        Per-row-group flop budget passed to every local multiply (bounds
+        the Gustavson kernel's peak intermediate memory); ``None`` uses the
+        kernel default.
     """
 
     a: DistSparseMatrix
@@ -145,6 +151,7 @@ class BlockedSpGemm:
     schedule: BlockSchedule
     compute_category: str = "spgemm"
     spgemm_backend: str | None = None
+    batch_flops: int | None = None
     peak_block_bytes: int = field(default=0, init=False)
     total_stats: SpGemmStats = field(default_factory=SpGemmStats, init=False)
     blocks_computed: int = field(default=0, init=False)
@@ -169,6 +176,7 @@ class BlockedSpGemm:
             output_shape=(self.a.shape[0], self.b.shape[1]),
             compute_category=self.compute_category,
             spgemm_backend=self.spgemm_backend,
+            batch_flops=self.batch_flops,
         )
         self.blocks_computed += 1
         self.total_stats = self.total_stats.merge(result.stats)

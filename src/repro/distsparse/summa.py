@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sparse.coo import CooMatrix
-from ..sparse.kernels import SpGemmKernel, resolve_kernel
+from ..sparse.kernels import SpGemmKernel, kernel_supports_batch_flops, resolve_kernel
 from ..sparse.semiring import Semiring
 from ..sparse.spgemm import SpGemmStats
 from .distmat import DistSparseMatrix
@@ -95,6 +95,7 @@ def summa(
     output_shape: tuple[int, int] | None = None,
     compute_category: str = "spgemm",
     spgemm_backend: str | SpGemmKernel | None = None,
+    batch_flops: int | None = None,
 ) -> SummaResult:
     """Run the 2D Sparse SUMMA ``C = A ·(semiring) B`` on the simulated grid.
 
@@ -103,7 +104,9 @@ def summa(
     ``(a.shape[0], b.shape[1])`` and should be set to the full matrix shape
     when multiplying stripes.  ``spgemm_backend`` selects the local-multiply
     kernel by registry name (see :mod:`repro.sparse.kernels`) or directly as
-    a callable; ``None`` uses the registry default.
+    a callable; ``None`` uses the registry default.  ``batch_flops`` bounds
+    the per-row-group flop budget of every local multiply (memory-constrained
+    runs); the selected backend must support batching.
     """
     if a.comm is not b.comm:
         raise ValueError("operands must live on the same communicator")
@@ -115,6 +118,14 @@ def summa(
     if output_shape is None:
         output_shape = (a.shape[0], b.shape[1])
     spgemm_kernel = resolve_kernel(spgemm_backend)
+    kernel_kwargs: dict[str, int] = {}
+    if batch_flops is not None:
+        if not kernel_supports_batch_flops(spgemm_kernel):
+            raise ValueError(
+                f"spgemm_backend {spgemm_backend!r} does not support batch_flops; "
+                "use the 'gustavson' (or 'auto') backend for flop-budgeted batching"
+            )
+        kernel_kwargs["batch_flops"] = batch_flops
 
     ledger = comm.ledger
     engine = comm.collectives
@@ -148,7 +159,9 @@ def summa(
             if a_block.nnz == 0 or b_block.nnz == 0:
                 continue
             t0 = time.perf_counter()
-            partial, pstats = spgemm_kernel(a_block, b_block, semiring, return_stats=True)
+            partial, pstats = spgemm_kernel(
+                a_block, b_block, semiring, return_stats=True, **kernel_kwargs
+            )
             compute_seconds[rank] += time.perf_counter() - t0
             stats = stats.merge(pstats)
             if partial.nnz:

@@ -11,6 +11,14 @@ metrics map directly onto this ledger:
   ranks of a category or metric;
 * communication-wait and IO percentages (Table II) — category time divided
   by total time.
+
+Schedulers (see :mod:`repro.core.engine.schedulers`) own the charging of
+the "align" and "spgemm" categories, possibly inflated by the §VI-C
+contention multipliers.  The overlapped scheduler additionally charges the
+seconds *hidden* by the discover/align overlap to the informational
+"overlap_hidden" category (excluded from reported totals), which keeps the
+ledger reconcilable with the simulated clock:
+``align + spgemm - overlap_hidden == combined schedule time`` per rank.
 """
 
 from __future__ import annotations

@@ -40,11 +40,13 @@ memory grows with flops; the ``"gustavson"`` kernel forms the output in
 flop-bounded row groups, so its peak memory stays near the output size.
 With a high compression factor (popular k-mers, dense overlap structure)
 prefer ``"gustavson"``; at low compression ``"expand"``'s single vectorized
-pass is the faster choice.  End to end, the backend is picked with
-``PastisParams(spgemm_backend="gustavson")`` (or the matching
-:class:`repro.config.ReproConfig` default), which the pipeline routes
-through :class:`repro.distsparse.blocked_summa.BlockedSpGemm` into every
-SUMMA stage; ``benchmarks/bench_kernels.py`` reports a head-to-head.
+pass is the faster choice; ``"auto"`` makes that call per invocation from
+:func:`~repro.sparse.kernels.predict_compression_factor`.  End to end, the
+backend is picked with ``PastisParams(spgemm_backend=...)`` (default
+``"gustavson"``, the memory-safe choice for the overlap semiring), which
+the pipeline routes through
+:class:`repro.distsparse.blocked_summa.BlockedSpGemm` into every SUMMA
+stage; ``benchmarks/bench_kernels.py`` reports a head-to-head.
 """
 
 from .semiring import (
@@ -62,11 +64,16 @@ from .dcsc import DcscMatrix
 from .spgemm import spgemm, SpGemmStats
 from .gustavson import spgemm_gustavson
 from .kernels import (
+    AUTO_COMPRESSION_THRESHOLD,
     DEFAULT_KERNEL,
+    DEFAULT_OVERLAP_KERNEL,
     available_kernels,
     get_kernel,
+    kernel_supports_batch_flops,
+    predict_compression_factor,
     register_kernel,
     resolve_kernel,
+    spgemm_auto,
 )
 from .spops import (
     transpose,
@@ -93,11 +100,16 @@ __all__ = [
     "spgemm",
     "spgemm_gustavson",
     "SpGemmStats",
+    "AUTO_COMPRESSION_THRESHOLD",
     "DEFAULT_KERNEL",
+    "DEFAULT_OVERLAP_KERNEL",
     "available_kernels",
     "get_kernel",
+    "kernel_supports_batch_flops",
+    "predict_compression_factor",
     "register_kernel",
     "resolve_kernel",
+    "spgemm_auto",
     "transpose",
     "triu",
     "tril",

@@ -184,5 +184,6 @@ def spgemm_gustavson(
         output_nnz=result.nnz,
         intermediate_bytes=peak_bytes,
         compression_factor=flops / result.nnz if result.nnz else 1.0,
+        row_groups=len(rows_parts),
     )
     return (result, stats) if return_stats else result

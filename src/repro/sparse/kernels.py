@@ -1,6 +1,6 @@
 """SpGEMM kernel registry: select a backend by name.
 
-The package ships two interchangeable SpGEMM kernels:
+The package ships three interchangeable SpGEMM kernels:
 
 ``"expand"``
     The vectorized sort–expand–reduce kernel
@@ -16,7 +16,14 @@ The package ships two interchangeable SpGEMM kernels:
     k-mers, dense overlap structure) — the regime that otherwise caps the
     reachable problem size.
 
-Both produce bit-identical outputs and :class:`~repro.sparse.spgemm.SpGemmStats`
+``"auto"``
+    Per-invocation dispatch (:func:`spgemm_auto`): every call — e.g. every
+    local multiply of every SUMMA stage — estimates a lower bound on the
+    compression factor from the operand sparsity patterns
+    (:func:`predict_compression_factor`) and routes to ``"gustavson"`` above
+    :data:`AUTO_COMPRESSION_THRESHOLD`, ``"expand"`` below it.
+
+All produce bit-identical outputs and :class:`~repro.sparse.spgemm.SpGemmStats`
 flop/nnz accounting (asserted by ``tests/test_spgemm_equivalence.py``), so
 every consumer — :func:`repro.distsparse.summa.summa`,
 :class:`repro.distsparse.blocked_summa.BlockedSpGemm`, the pipeline via
@@ -28,12 +35,18 @@ A kernel is any callable with the signature
 :class:`~repro.sparse.coo.CooMatrix` (plus stats when requested) — COO is
 the interchange format every backend must accept; extra operand formats
 (e.g. the Gustavson kernel's CSR fast path) are backend-specific extras.
-Register additional backends with :func:`register_kernel`.
+Kernels that form the output in flop-bounded batches may additionally
+accept a ``batch_flops`` keyword (probe with
+:func:`kernel_supports_batch_flops`).  Register additional backends with
+:func:`register_kernel`.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
+
+import numpy as np
 
 from .gustavson import spgemm_gustavson
 from .spgemm import spgemm
@@ -41,8 +54,19 @@ from .spgemm import spgemm
 #: Signature shared by all SpGEMM backends.
 SpGemmKernel = Callable[..., object]
 
-#: Name of the backend used when none is requested.
+#: Name of the backend used when none is requested (generic consumers).
 DEFAULT_KERNEL = "expand"
+
+#: Default backend for the pipeline's overlap semiring (``A·Aᵀ`` candidate
+#: discovery): the head-to-head in ``benchmarks/bench_kernels.py --smoke``
+#: confirms bit-identical results with strictly lower intermediate memory at
+#: the overlap matrix's high compression factors, so the memory-safe kernel
+#: is the default there.  Seeds :data:`repro.config.DEFAULTS`.
+DEFAULT_OVERLAP_KERNEL = "gustavson"
+
+#: Predicted-compression-factor threshold above which ``"auto"`` routes to
+#: the Gustavson kernel (the head-to-head crossover regime).
+AUTO_COMPRESSION_THRESHOLD = 2.0
 
 _KERNELS: dict[str, SpGemmKernel] = {}
 
@@ -87,5 +111,94 @@ def resolve_kernel(kernel: str | SpGemmKernel | None) -> SpGemmKernel:
     return get_kernel(kernel)
 
 
+def kernel_supports_batch_flops(kernel: SpGemmKernel) -> bool:
+    """Whether a backend accepts the ``batch_flops`` flop-budget keyword.
+
+    Only an explicitly named ``batch_flops`` parameter counts — a bare
+    ``**kwargs`` would swallow the budget without honoring it, silently
+    defeating the memory bound the caller asked for.
+    """
+    try:
+        parameters = inspect.signature(kernel).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "batch_flops" in parameters
+
+
+# ------------------------------------------------------------------ auto dispatch
+def _inner_indices(matrix, transposed: bool) -> np.ndarray:
+    """Inner-dimension index of every nonzero (A's columns / B's rows)."""
+    if hasattr(matrix, "indptr"):  # CSR: column indices; rows via indptr
+        if transposed:
+            return np.repeat(
+                np.arange(matrix.shape[0], dtype=np.int64), np.diff(matrix.indptr)
+            )
+        return matrix.indices
+    return matrix.rows if transposed else matrix.cols
+
+
+def _outer_count(matrix, transposed: bool) -> int:
+    """Number of distinct outer indices with nonzeros (A's rows / B's cols)."""
+    if hasattr(matrix, "indptr"):
+        if transposed:
+            return int(np.unique(matrix.indices).size)
+        return int(np.count_nonzero(np.diff(matrix.indptr)))
+    outer = matrix.cols if transposed else matrix.rows
+    return int(np.unique(outer).size)
+
+
+def predict_compression_factor(a, b) -> float:
+    """Cheap lower bound on ``flops / output nnz`` of ``C = A·B``.
+
+    The exact flop count is read off the sparsity patterns (each A nonzero
+    contributes the nnz of the B row its inner index selects); the output
+    nonzero count is bounded above by ``distinct A rows x distinct B cols``
+    (and by the flop count itself), so the returned ratio never exceeds the
+    true compression factor.  Runs in ``O(nnz log nnz)`` without touching
+    the (possibly hypersparse, ``|alphabet|^k``-sized) inner dimension.
+    """
+    a_inner = np.asarray(_inner_indices(a, transposed=False))
+    b_inner = np.asarray(_inner_indices(b, transposed=True))
+    if a_inner.size == 0 or b_inner.size == 0:
+        return 1.0
+    b_keys, b_counts = np.unique(b_inner, return_counts=True)
+    pos = np.searchsorted(b_keys, a_inner)
+    pos_clipped = np.minimum(pos, b_keys.size - 1)
+    matched = b_keys[pos_clipped] == a_inner
+    flops = int(b_counts[pos_clipped[matched]].sum())
+    if flops == 0:
+        return 1.0
+    output_cap = _outer_count(a, transposed=False) * _outer_count(b, transposed=True)
+    return flops / max(1, min(flops, output_cap))
+
+
+def spgemm_auto(
+    a,
+    b,
+    semiring=None,
+    return_stats: bool = False,
+    batch_flops: int | None = None,
+):
+    """Backend-dispatching SpGEMM: Gustavson at high predicted compression.
+
+    Decides per invocation — inside SUMMA that is per stage and per rank —
+    so one distributed multiply can mix backends as the local operand
+    structure varies.  CSR operands always take the Gustavson path (the only
+    CSR-capable backend), and so does an explicit ``batch_flops``: a flop
+    budget is a request for bounded intermediate memory, which the expand
+    kernel cannot honor.
+    """
+    is_csr = hasattr(a, "indptr") or hasattr(b, "indptr")
+    if (
+        is_csr
+        or batch_flops is not None
+        or predict_compression_factor(a, b) >= AUTO_COMPRESSION_THRESHOLD
+    ):
+        kwargs = {} if batch_flops is None else {"batch_flops": batch_flops}
+        return spgemm_gustavson(a, b, semiring, return_stats=return_stats, **kwargs)
+    return spgemm(a, b, semiring, return_stats=return_stats)
+
+
 register_kernel("expand", spgemm)
 register_kernel("gustavson", spgemm_gustavson)
+register_kernel("auto", spgemm_auto)

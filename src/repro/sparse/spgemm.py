@@ -41,12 +41,18 @@ class SpGemmStats:
         Peak bytes held by the expanded partial-product arrays.
     compression_factor:
         ``flops / output_nnz`` (1.0 when the output is empty).
+    row_groups:
+        Number of flop-bounded batches the partial products were formed in
+        (1 per invocation for the single-pass expand kernel; the Gustavson
+        kernel's per-row-group count — observable evidence that a
+        ``batch_flops`` budget forced multi-group batching).
     """
 
     flops: int = 0
     output_nnz: int = 0
     intermediate_bytes: int = 0
     compression_factor: float = 1.0
+    row_groups: int = 0
 
     def merge(self, other: "SpGemmStats") -> "SpGemmStats":
         """Accumulate stats from another invocation (e.g. across SUMMA stages)."""
@@ -57,6 +63,7 @@ class SpGemmStats:
             output_nnz=nnz,
             intermediate_bytes=max(self.intermediate_bytes, other.intermediate_bytes),
             compression_factor=(flops / nnz) if nnz else 1.0,
+            row_groups=self.row_groups + other.row_groups,
         )
 
 
@@ -222,6 +229,7 @@ def spgemm(
         output_nnz=result.nnz,
         intermediate_bytes=intermediate_bytes,
         compression_factor=flops / result.nnz if result.nnz else 1.0,
+        row_groups=1,
     )
     return (result, stats) if return_stats else result
 

@@ -1,0 +1,310 @@
+"""The stage-graph execution engine: scheduler equivalence and streaming memory.
+
+The central contract of :mod:`repro.core.engine`: scheduling policy (serial
+vs. overlapped pre-blocking) changes *when* work runs and what the clock
+reads, never *what* is computed.  The harness here asserts bit-identical
+similarity graphs, statistics and block records across schedulers over
+seeds, blockings and both load-balancing schemes; that the overlapped
+schedule's derived Table-I report equals the closed-form
+:class:`~repro.core.preblocking.PreblockingModel` on the same per-block
+times; and that the streaming accumulator's peak live memory beats
+retaining all block outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    OverlappedScheduler,
+    SerialScheduler,
+    StreamingGraphAccumulator,
+    make_scheduler,
+)
+from repro.core.engine.schedulers import OVERLAP_HIDDEN_CATEGORY
+from repro.core.params import PastisParams
+from repro.core.pipeline import PastisPipeline
+from repro.core.preblocking import PreblockingModel
+from repro.sequences.synthetic import synthetic_dataset
+
+#: SearchStats keys that legitimately differ between schedulers: clock
+#: readings (the overlapped schedule is the point of pre-blocking) and the
+#: memory footprint (two live blocks instead of one).
+TIMING_AND_MEMORY_KEYS = frozenset(
+    {
+        "time_total",
+        "time_align",
+        "time_spgemm",
+        "time_sparse_all",
+        "alignments_per_second",
+        "tcups",
+        "io_percent",
+        "cwait_percent",
+        "wall_seconds",
+        "measured_align_seconds",
+        "peak_live_block_bytes",
+        "edge_buffer_bytes",
+    }
+)
+
+
+def _run(seqs, **overrides):
+    params = PastisParams(
+        kmer_length=5,
+        nodes=4,
+        common_kmer_threshold=1,
+        align_batch_size=64,
+        **overrides,
+    )
+    return PastisPipeline(params).run(seqs)
+
+
+# shared runs on the session dataset (the serial 4-block counterpart is the
+# session-scoped ``pipeline_result`` fixture) — several tests read different
+# facets of the same execution, so run each configuration once per module
+@pytest.fixture(scope="module")
+def overlapped_result(small_seqs, fast_params):
+    """pre_blocking=True counterpart of ``pipeline_result`` (4 blocks)."""
+    return PastisPipeline(fast_params.replace(pre_blocking=True)).run(small_seqs)
+
+
+@pytest.fixture(scope="module")
+def serial6_result(small_seqs, fast_params):
+    return PastisPipeline(fast_params.replace(num_blocks=6)).run(small_seqs)
+
+
+@pytest.fixture(scope="module")
+def overlapped6_result(small_seqs, fast_params):
+    return PastisPipeline(
+        fast_params.replace(num_blocks=6, pre_blocking=True)
+    ).run(small_seqs)
+
+
+def _assert_records_equal(records_a, records_b):
+    assert len(records_a) == len(records_b)
+    for ra, rb in zip(records_a, records_b):
+        assert (ra.block_row, ra.block_col, ra.kind) == (rb.block_row, rb.block_col, rb.kind)
+        assert ra.candidates == rb.candidates
+        assert ra.aligned_pairs == rb.aligned_pairs
+        assert ra.similar_pairs == rb.similar_pairs
+        assert ra.block_bytes == rb.block_bytes
+        assert np.array_equal(ra.pairs_per_rank, rb.pairs_per_rank)
+        assert np.array_equal(ra.cells_per_rank, rb.cells_per_rank)
+        # records keep *raw* seconds, so under the deterministic modeled
+        # clock they agree bit-for-bit even across schedulers
+        assert np.array_equal(ra.sparse_seconds_per_rank, rb.sparse_seconds_per_rank)
+        assert np.array_equal(ra.align_seconds_per_rank, rb.align_seconds_per_rank)
+
+
+# ---------------------------------------------------------------- equivalence harness
+# the default run covers both schemes and both blockings on one seed (a
+# ~40-sequence dataset keeps each run around a second); the second seed
+# re-runs the whole matrix in the slow suite (CI on push)
+@pytest.mark.parametrize("seed", [3, pytest.param(19, marks=pytest.mark.slow)])
+@pytest.mark.parametrize("num_blocks", [4, 6])
+@pytest.mark.parametrize("load_balancing", ["index", "triangularity"])
+def test_scheduler_equivalence(seed, num_blocks, load_balancing):
+    """Overlapped scheduling is bit-identical to serial, modulo timing fields."""
+    seqs = synthetic_dataset(n_sequences=40, seed=seed)
+    serial = _run(seqs, num_blocks=num_blocks, load_balancing=load_balancing)
+    overlapped = _run(
+        seqs, num_blocks=num_blocks, load_balancing=load_balancing, pre_blocking=True
+    )
+    assert serial.scheduler == "serial"
+    assert overlapped.scheduler == "overlapped"
+
+    # the similarity graph agrees down to every edge attribute
+    assert np.array_equal(
+        serial.similarity_graph.edges, overlapped.similarity_graph.edges
+    )
+
+    # statistics agree on everything but clock readings / live-memory shape
+    stats_serial = serial.stats.as_dict()
+    stats_overlapped = overlapped.stats.as_dict()
+    assert set(stats_serial) == set(stats_overlapped)
+    for key, value in stats_serial.items():
+        if key in TIMING_AND_MEMORY_KEYS:
+            continue
+        if key.startswith("imbalance_"):
+            # (max/avg - 1) is invariant under the scalar contention
+            # multiplier up to float associativity of the per-block sums
+            assert stats_overlapped[key] == pytest.approx(value, rel=1e-9), key
+        else:
+            assert stats_overlapped[key] == value, key
+
+    _assert_records_equal(serial.block_records, overlapped.block_records)
+
+
+def test_overlapped_report_matches_closed_form_model(overlapped6_result):
+    """The executed schedule derives the exact report the closed form predicts."""
+    result = overlapped6_result
+    report = result.preblocking_report
+    assert report is not None
+
+    ledger = result.ledger
+    other_seconds = sum(
+        ledger.component_time(c) for c in ("sparse_other", "io", "cwait", "comm")
+    )
+    sparse = np.stack([r.sparse_seconds_per_rank for r in result.block_records])
+    align = np.stack([r.align_seconds_per_rank for r in result.block_records])
+    expected = PreblockingModel().evaluate(sparse, align, other_seconds)
+    for field in (
+        "blocks",
+        "align_seconds",
+        "sparse_seconds",
+        "sum_seconds",
+        "total_seconds",
+        "align_seconds_pre",
+        "sparse_seconds_pre",
+        "combined_seconds_pre",
+        "total_seconds_pre",
+    ):
+        assert getattr(report, field) == getattr(expected, field), field
+
+
+def test_overlap_hidden_reconciles_ledger_with_clock(overlapped_result, pipeline_result):
+    """align + spgemm - overlap_hidden equals the simulated combined clock."""
+    ledger = overlapped_result.ledger
+    assert OVERLAP_HIDDEN_CATEGORY in ledger.categories()
+    reconstructed = (
+        ledger.per_rank("align")
+        + ledger.per_rank("spgemm")
+        - ledger.per_rank(OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(
+        reconstructed, overlapped_result.timeline.combined_per_rank, rtol=1e-12
+    )
+    # and the hidden time never appears in serial runs
+    assert OVERLAP_HIDDEN_CATEGORY not in pipeline_result.ledger.categories()
+
+
+def test_no_posthoc_report_without_preblocking(pipeline_result):
+    assert pipeline_result.preblocking_report is None
+    assert pipeline_result.timeline is not None
+    assert pipeline_result.timeline.combined_per_rank is None
+    assert pipeline_result.timeline.preblocking_report(1.0) is None
+
+
+# ---------------------------------------------------------------- streaming memory
+def test_streaming_peak_is_below_retaining_all_blocks(serial6_result, overlapped6_result):
+    """Acceptance: streaming holds strictly less than all block outputs."""
+    for result in (serial6_result, overlapped6_result):
+        extras = result.stats.extras
+        assert result.stats.blocks_computed > 1
+        assert 0 < extras["peak_live_block_bytes"] < extras["retained_block_bytes"]
+        # the run is over: nothing is left live
+        assert result.memory.current("live_blocks") == 0
+
+
+def test_serial_holds_one_block_overlapped_at_most_two(serial6_result, overlapped6_result):
+    # serial: exactly one live block at a time -> peak is the largest block
+    assert (
+        serial6_result.stats.extras["peak_live_block_bytes"]
+        == serial6_result.stats.peak_block_bytes
+    )
+    # overlapped: current block + in-flight next block, never more
+    peak = overlapped6_result.stats.extras["peak_live_block_bytes"]
+    assert peak >= overlapped6_result.stats.peak_block_bytes
+    assert peak <= 2 * overlapped6_result.stats.peak_block_bytes
+
+
+def test_accumulator_lifecycle_and_finalize():
+    from repro.core.align_phase import EDGE_DTYPE
+
+    acc = StreamingGraphAccumulator(n_vertices=10)
+    acc.block_computed(1000)
+    edges = np.zeros(2, dtype=EDGE_DTYPE)
+    edges["row"] = [1, 5]
+    edges["col"] = [2, 3]
+    acc.consume(edges)
+    acc.block_discarded(1000)
+    acc.block_computed(400)
+    acc.consume(np.zeros(0, dtype=EDGE_DTYPE))
+    acc.block_discarded(400)
+    assert acc.peak_live_block_bytes == 1000
+    assert acc.live_block_bytes == 0
+    assert acc.retained_block_bytes == 1400
+    assert acc.edges_streamed == 2
+    graph = acc.finalize()
+    assert graph.num_edges == 2
+    assert graph.edge_key_set() == {(1, 2), (3, 5)}
+
+
+# ---------------------------------------------------------------- satellite plumbing
+def test_batch_flops_forces_multi_group_batching_end_to_end(
+    small_seqs, fast_params, pipeline_result
+):
+    """A small PastisParams.batch_flops budget reaches the Gustavson kernel."""
+    # fast_params uses the default backend, which is gustavson — the shared
+    # session run is the unconstrained baseline
+    assert fast_params.spgemm_backend == "gustavson"
+    roomy = pipeline_result
+    tight = PastisPipeline(
+        fast_params.replace(spgemm_backend="gustavson", batch_flops=64)
+    ).run(small_seqs)
+    # identical results, strictly more row groups under the tight budget
+    assert tight.similarity_graph == roomy.similarity_graph
+    assert tight.stats.spgemm_flops == roomy.stats.spgemm_flops
+    assert (
+        tight.stats.extras["spgemm_row_groups"]
+        > roomy.stats.extras["spgemm_row_groups"]
+        > 0
+    )
+
+
+def test_batch_flops_rejected_by_non_batching_backend(small_seqs, fast_params):
+    with pytest.raises(ValueError, match="batch_flops"):
+        PastisPipeline(
+            fast_params.replace(spgemm_backend="expand", batch_flops=64)
+        ).run(small_seqs)
+    with pytest.raises(ValueError, match="batch_flops"):
+        PastisParams(batch_flops=0)
+
+
+def test_auto_backend_matches_fixed_backends(small_seqs, fast_params, pipeline_result):
+    """Per-stage auto selection changes nothing about results or accounting."""
+    auto = PastisPipeline(fast_params.replace(spgemm_backend="auto")).run(small_seqs)
+    assert auto.similarity_graph == pipeline_result.similarity_graph
+    assert auto.stats.spgemm_flops == pipeline_result.stats.spgemm_flops
+    assert auto.stats.candidates_discovered == pipeline_result.stats.candidates_discovered
+
+
+def test_predict_compression_factor_is_a_lower_bound():
+    from repro.sparse import CooMatrix, predict_compression_factor, spgemm
+
+    rng = np.random.default_rng(5)
+    n, k, nnz = 60, 12, 600
+    a = CooMatrix(
+        (n, k),
+        rng.integers(0, n, nnz),
+        rng.integers(0, k, nnz),
+        rng.integers(1, 9, nnz).astype(np.int64),
+    ).deduplicate()
+    _, stats = spgemm(a, a.transpose(), return_stats=True)
+    predicted = predict_compression_factor(a, a.transpose())
+    assert 1.0 <= predicted <= stats.compression_factor
+    # dense-ish overlap product: the bound is informative, not vacuous
+    assert predicted > 1.5
+    empty = CooMatrix.empty((4, 4))
+    assert predict_compression_factor(empty, empty) == 1.0
+
+
+# ---------------------------------------------------------------- scheduler contract
+def test_make_scheduler_factory():
+    assert isinstance(make_scheduler("serial"), SerialScheduler)
+    overlapped = make_scheduler("overlapped")
+    assert isinstance(overlapped, OverlappedScheduler)
+    assert overlapped.contention.align_contention > 1.0
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        make_scheduler("speculative")
+
+
+def test_overlapped_scheduler_empty_task_list(small_seqs, fast_params):
+    """Degenerate schedule: no tasks still yields a coherent outcome."""
+    from repro.core.engine import OverlappedScheduler
+
+    outcome = OverlappedScheduler().run([], ctx=None)
+    assert outcome.records == []
+    assert outcome.timeline.combined_per_rank is None
+    assert outcome.timeline.preblocking_report(1.0) is None
