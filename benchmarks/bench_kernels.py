@@ -16,7 +16,7 @@ import numpy as np
 from repro.align.batch import batch_smith_waterman
 from repro.sequences.synthetic import synthetic_dataset
 from repro.sparse.coo import CooMatrix
-from repro.sparse.kernels import available_kernels, get_kernel
+from repro.sparse.kernels import available_kernels, get_kernel, kernel_supports_semiring
 from repro.sparse.semiring import CountSemiring, OverlapSemiring
 from repro.sparse.spgemm import spgemm
 
@@ -89,6 +89,8 @@ def spgemm_backend_head_to_head(n, k, nnz, seed, repeats=3):
     baseline = None
     for name in available_kernels():
         kernel = get_kernel(name)
+        if not kernel_supports_semiring(kernel, semiring):
+            continue  # e.g. the scipy backend, plain-arithmetic only
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()

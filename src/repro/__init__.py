@@ -15,6 +15,9 @@ al., SC 2022):
   Sparse SUMMA — :mod:`repro.distsparse`;
 * the PASTIS pipeline itself (overlap detection, load balancing,
   pre-blocking, similarity-graph construction) — :mod:`repro.core`;
+* similarity-graph clustering into protein families (sparse Markov
+  clustering on the SpGEMM kernel registry, union-find components,
+  quality metrics) — :mod:`repro.graph`;
 * baselines (brute force, MMseqs2-like, DIAMOND-like) — :mod:`repro.baselines`;
 * an analytic performance model used to project paper-scale experiments —
   :mod:`repro.perfmodel`.
@@ -33,6 +36,7 @@ from .version import __version__, PAPER
 from .config import DEFAULTS, ReproConfig
 from .sequences import SequenceSet, synthetic_dataset, read_fasta, write_fasta
 from .core import PastisParams, PastisPipeline, SearchResult, SimilarityGraph  # noqa: E402
+from .graph import ClusterParams, ClusteringResult, cluster_similarity_graph  # noqa: E402
 
 __all__ = [
     "__version__",
@@ -47,4 +51,7 @@ __all__ = [
     "PastisPipeline",
     "SearchResult",
     "SimilarityGraph",
+    "ClusterParams",
+    "ClusteringResult",
+    "cluster_similarity_graph",
 ]

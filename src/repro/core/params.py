@@ -12,8 +12,15 @@ import numpy as np
 
 from ..align.substitution import BLOSUM62, ScoringScheme
 from ..config import DEFAULTS
+from ..graph.api import ClusterParams
 from ..sequences.alphabet import Alphabet, MURPHY10, PROTEIN
-from ..sparse.kernels import available_kernels
+from ..sparse.kernels import (
+    AUTO_COMPRESSION_THRESHOLD,
+    available_kernels,
+    get_kernel,
+    kernel_supports_semiring,
+)
+from ..sparse.semiring import OverlapSemiring
 
 
 @dataclass
@@ -80,6 +87,16 @@ class PastisParams:
         ``"auto"`` when it picks it); bounds the kernel's peak intermediate
         memory for memory-constrained runs.  ``None`` uses the kernel's
         default; backends without batching reject an explicit value.
+    auto_compression_threshold:
+        Predicted-compression-factor crossover at which the ``"auto"``
+        backend routes to Gustavson instead of expand.  Promoted from the
+        former module constant so the crossover can be calibrated per run;
+        defaults to :data:`repro.sparse.kernels.AUTO_COMPRESSION_THRESHOLD`.
+        Fixed backends ignore it.
+    cluster:
+        Post-search clustering stage configuration
+        (:class:`repro.graph.api.ClusterParams`); disabled by default, in
+        which case the similarity graph remains the terminal output.
     """
 
     kmer_length: int = 6
@@ -102,6 +119,8 @@ class PastisParams:
     alignment_mode: str = "full_sw"
     spgemm_backend: str = DEFAULTS.spgemm_backend
     batch_flops: int | None = None
+    auto_compression_threshold: float = AUTO_COMPRESSION_THRESHOLD
+    cluster: ClusterParams = field(default_factory=ClusterParams)
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -125,8 +144,19 @@ class PastisParams:
                 f"spgemm_backend must be one of {available_kernels()}, "
                 f"got {self.spgemm_backend!r}"
             )
+        if not kernel_supports_semiring(get_kernel(self.spgemm_backend), OverlapSemiring()):
+            raise ValueError(
+                f"spgemm_backend {self.spgemm_backend!r} does not support the "
+                "pipeline's overlap semiring (it is registered for the plain "
+                "arithmetic semiring only, e.g. for repro.graph clustering)"
+            )
         if self.batch_flops is not None and self.batch_flops < 1:
             raise ValueError("batch_flops must be >= 1 (or None for the kernel default)")
+        if self.auto_compression_threshold <= 0:
+            raise ValueError("auto_compression_threshold must be positive")
+        if not isinstance(self.cluster, ClusterParams):
+            raise ValueError("cluster must be a ClusterParams instance")
+        self.cluster.validate()
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         if self.num_blocks < 1:

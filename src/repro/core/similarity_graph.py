@@ -3,8 +3,10 @@
 Vertices are sequences; an edge ``(i, j)`` with attributes (score, ANI,
 coverage) means the pair passed both thresholds.  PASTIS writes the graph as
 triplets ("two sequences and the similarity between them"); downstream uses
-include clustering into protein families, which we provide via connected
-components (and networkx export for anything richer).
+include clustering into protein families — connected components here (via
+the union-find in :mod:`repro.graph.components`), sparse Markov clustering
+in :mod:`repro.graph` for structure finer than connectivity, and networkx
+export for anything richer.
 """
 
 from __future__ import annotations
@@ -32,7 +34,14 @@ class SimilarityGraph:
     # ------------------------------------------------------------------ constructors
     @classmethod
     def from_edges(cls, edges: np.ndarray, n_vertices: int) -> "SimilarityGraph":
-        """Build from an edge record array (duplicates and self-loops removed)."""
+        """Build from an edge record array (duplicates and self-loops removed).
+
+        Deduplication keeps the first occurrence of each unordered pair.  It
+        compares the ``(row, col)`` coordinates directly — a scalar key like
+        ``row * n_vertices + col`` overflows int64 once ``n_vertices``
+        exceeds ``~3e9`` and silently merges distinct pairs whose wrapped
+        keys collide.
+        """
         edges = np.asarray(edges, dtype=EDGE_DTYPE)
         if edges.size:
             rows = np.minimum(edges["row"], edges["col"])
@@ -41,12 +50,16 @@ class SimilarityGraph:
             canon["row"] = rows
             canon["col"] = cols
             canon = canon[rows != cols]
-            # deduplicate unordered pairs, keeping the first occurrence
-            keys = canon["row"] * np.int64(n_vertices) + canon["col"]
-            _, first = np.unique(keys, return_index=True)
-            canon = canon[np.sort(first)]
+            # lexsort is stable, so within a (row, col) group entries keep
+            # input order and the group leader is the first occurrence
             order = np.lexsort((canon["col"], canon["row"]))
-            edges = canon[order]
+            canon = canon[order]
+            if canon.size:
+                leader = np.empty(canon.size, dtype=bool)
+                leader[0] = True
+                leader[1:] = (np.diff(canon["row"]) != 0) | (np.diff(canon["col"]) != 0)
+                canon = canon[leader]
+            edges = canon
         return cls(n_vertices=n_vertices, edges=edges)
 
     @classmethod
@@ -107,18 +120,17 @@ class SimilarityGraph:
         return graph
 
     def connected_components(self) -> np.ndarray:
-        """Component label per vertex (protein-family clustering)."""
-        from scipy.sparse import csr_matrix
-        from scipy.sparse.csgraph import connected_components
+        """Component label per vertex (protein-family clustering).
 
-        if self.num_edges == 0:
-            return np.arange(self.n_vertices, dtype=np.int64)
-        rows = np.concatenate([self.edges["row"], self.edges["col"]])
-        cols = np.concatenate([self.edges["col"], self.edges["row"]])
-        data = np.ones(rows.size, dtype=np.int8)
-        adj = csr_matrix((data, (rows, cols)), shape=(self.n_vertices, self.n_vertices))
-        _, labels = connected_components(adj, directed=False)
-        return labels.astype(np.int64)
+        Runs on the dependency-free union-find in
+        :mod:`repro.graph.components` (labels in first-vertex order, exactly
+        matching what the former ``scipy.sparse.csgraph`` path produced).
+        For cluster structure finer than connectivity — families joined by a
+        spurious bridge edge — see :func:`repro.graph.api.cluster_similarity_graph`.
+        """
+        from ..graph.components import connected_components
+
+        return connected_components(self)
 
     # ------------------------------------------------------------------ IO
     def write_triples(self, path: str | os.PathLike, names: np.ndarray | None = None) -> int:

@@ -143,6 +143,10 @@ class BlockedSpGemm:
         Per-row-group flop budget passed to every local multiply (bounds
         the Gustavson kernel's peak intermediate memory); ``None`` uses the
         kernel default.
+    auto_compression_threshold:
+        Dispatch crossover of the ``"auto"`` kernel
+        (``PastisParams.auto_compression_threshold``); ignored by fixed
+        backends, ``None`` keeps the registry default.
     """
 
     a: DistSparseMatrix
@@ -152,6 +156,7 @@ class BlockedSpGemm:
     compute_category: str = "spgemm"
     spgemm_backend: str | None = None
     batch_flops: int | None = None
+    auto_compression_threshold: float | None = None
     peak_block_bytes: int = field(default=0, init=False)
     total_stats: SpGemmStats = field(default_factory=SpGemmStats, init=False)
     blocks_computed: int = field(default=0, init=False)
@@ -177,6 +182,7 @@ class BlockedSpGemm:
             compute_category=self.compute_category,
             spgemm_backend=self.spgemm_backend,
             batch_flops=self.batch_flops,
+            auto_compression_threshold=self.auto_compression_threshold,
         )
         self.blocks_computed += 1
         self.total_stats = self.total_stats.merge(result.stats)

@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..sparse.coo import CooMatrix
-from ..sparse.kernels import SpGemmKernel, kernel_supports_batch_flops, resolve_kernel
+from ..sparse.kernels import (
+    SpGemmKernel,
+    kernel_supports_batch_flops,
+    kernel_supports_compression_threshold,
+    resolve_kernel,
+)
 from ..sparse.semiring import Semiring
 from ..sparse.spgemm import SpGemmStats
 from .distmat import DistSparseMatrix
@@ -96,6 +101,7 @@ def summa(
     compute_category: str = "spgemm",
     spgemm_backend: str | SpGemmKernel | None = None,
     batch_flops: int | None = None,
+    auto_compression_threshold: float | None = None,
 ) -> SummaResult:
     """Run the 2D Sparse SUMMA ``C = A ·(semiring) B`` on the simulated grid.
 
@@ -107,6 +113,10 @@ def summa(
     a callable; ``None`` uses the registry default.  ``batch_flops`` bounds
     the per-row-group flop budget of every local multiply (memory-constrained
     runs); the selected backend must support batching.
+    ``auto_compression_threshold`` calibrates the ``"auto"`` kernel's
+    dispatch crossover; backends without per-invocation dispatch ignore it
+    (the knob tunes a policy, unlike ``batch_flops``, which demands a
+    memory bound and is therefore rejected when unsupported).
     """
     if a.comm is not b.comm:
         raise ValueError("operands must live on the same communicator")
@@ -118,7 +128,7 @@ def summa(
     if output_shape is None:
         output_shape = (a.shape[0], b.shape[1])
     spgemm_kernel = resolve_kernel(spgemm_backend)
-    kernel_kwargs: dict[str, int] = {}
+    kernel_kwargs: dict[str, float] = {}
     if batch_flops is not None:
         if not kernel_supports_batch_flops(spgemm_kernel):
             raise ValueError(
@@ -126,6 +136,10 @@ def summa(
                 "use the 'gustavson' (or 'auto') backend for flop-budgeted batching"
             )
         kernel_kwargs["batch_flops"] = batch_flops
+    if auto_compression_threshold is not None and kernel_supports_compression_threshold(
+        spgemm_kernel
+    ):
+        kernel_kwargs["compression_threshold"] = auto_compression_threshold
 
     ledger = comm.ledger
     engine = comm.collectives

@@ -1,0 +1,74 @@
+"""repro.graph — similarity-graph clustering: the search output as a workload.
+
+The paper frames the similarity graph as the *product* of the search, whose
+downstream use is "clustering sequences into protein families".  This
+subsystem makes that downstream step a first-class sparse-compute pipeline
+on the same substrates the search uses:
+
+* :mod:`repro.graph.matrix` — column-stochastic transition matrices over
+  the similarity graph (transpose-CSR storage; expansion, inflation and
+  pruning operators);
+* :mod:`repro.graph.mcl` — sparse Markov clustering, with expansion
+  executed through the SpGEMM kernel registry under the plain arithmetic
+  semiring (bit-identical across every registered backend, including the
+  ``"scipy"`` fast path) and per-iteration flop/nnz/pruned-mass stats;
+* :mod:`repro.graph.components` — dependency-free union-find connected
+  components (also backing
+  :meth:`~repro.core.similarity_graph.SimilarityGraph.connected_components`);
+* :mod:`repro.graph.quality` — modularity, intra/inter-cluster score
+  separation, and family-size histograms for judging any partition;
+* :mod:`repro.graph.api` — :class:`ClusterParams` (embedded in
+  ``PastisParams.cluster``) and :func:`cluster_similarity_graph`, the
+  entry point the pipeline's optional post-graph ``cluster`` stage calls.
+
+The subsystem imports nothing from :mod:`repro.core` (graphs are
+duck-typed), so the core can embed its config and call it freely.
+"""
+
+from .api import (
+    CLUSTER_METHODS,
+    ClusteringResult,
+    ClusterParams,
+    cluster_similarity_graph,
+)
+from .components import (
+    UnionFind,
+    canonical_labels,
+    component_roots,
+    connected_components,
+)
+from .matrix import WEIGHT_TRANSFORMS, PruneStats, StochasticMatrix, similarity_weights
+from .mcl import MarkovClustering, MclIterationStats, MclResult, interpret_clusters
+from .quality import (
+    ClusterQuality,
+    cluster_sizes,
+    evaluate_clustering,
+    modularity,
+    pairwise_f1,
+    size_histogram,
+)
+
+__all__ = [
+    "CLUSTER_METHODS",
+    "ClusterParams",
+    "ClusteringResult",
+    "cluster_similarity_graph",
+    "UnionFind",
+    "canonical_labels",
+    "component_roots",
+    "connected_components",
+    "WEIGHT_TRANSFORMS",
+    "PruneStats",
+    "StochasticMatrix",
+    "similarity_weights",
+    "MarkovClustering",
+    "MclIterationStats",
+    "MclResult",
+    "interpret_clusters",
+    "ClusterQuality",
+    "cluster_sizes",
+    "evaluate_clustering",
+    "modularity",
+    "pairwise_f1",
+    "size_histogram",
+]

@@ -1,0 +1,127 @@
+"""Union-find connected components over the similarity graph.
+
+The seed's component labelling leaned on ``scipy.sparse.csgraph`` — fine at
+toy scale, but it materializes a CSR adjacency (two directed copies of every
+edge) just to answer a connectivity question, and it drags a heavyweight
+dependency into the one output-side operation every run performs.  This
+module provides two dependency-free replacements: :func:`component_roots`,
+a vectorized Shiloach–Vishkin-style min-hooking + pointer-jumping sweep
+(``O(log n)`` whole-edge-array NumPy passes, no per-edge Python loop — the
+path :func:`connected_components` takes), and :class:`UnionFind` (path
+halving + union by rank) for incremental unions where edges arrive one at a
+time.  Both label components in order of their smallest vertex — exactly
+the labelling the SciPy path produced, so the replacement is bit for bit
+(asserted in ``tests/test_graph.py``).
+
+The module deliberately imports nothing from :mod:`repro.core`: it operates
+on any object exposing ``n_vertices`` and an ``edges`` record array with
+``row``/``col`` fields (duck-typed :class:`~repro.core.similarity_graph.SimilarityGraph`),
+which keeps ``repro.graph`` a leaf subsystem the core can import freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path halving."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.n_sets = n
+
+    def find(self, i: int) -> int:
+        """Root of ``i``'s set (halves the path as it walks)."""
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return int(i)
+
+    def union(self, i: int, j: int) -> bool:
+        """Merge the sets of ``i`` and ``j``; returns whether a merge happened."""
+        ri, rj = self.find(i), self.find(j)
+        if ri == rj:
+            return False
+        if self.rank[ri] < self.rank[rj]:
+            ri, rj = rj, ri
+        self.parent[rj] = ri
+        if self.rank[ri] == self.rank[rj]:
+            self.rank[ri] += 1
+        self.n_sets -= 1
+        return True
+
+    def union_edges(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Union every ``(rows[k], cols[k])`` pair."""
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            self.union(i, j)
+
+    def labels(self) -> np.ndarray:
+        """Canonical component label per element.
+
+        Components are numbered in order of their smallest member, which is
+        also the order a vertex-index scan first meets them — the labelling
+        ``scipy.sparse.csgraph.connected_components`` uses.
+        """
+        n = self.parent.size
+        roots = np.fromiter((self.find(i) for i in range(n)), dtype=np.int64, count=n)
+        return canonical_labels(roots)
+
+
+def component_roots(n: int, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Smallest vertex of each vertex's component, fully vectorized.
+
+    Shiloach–Vishkin-style: every round hooks each edge endpoint's parent
+    onto the smaller of the two (``np.minimum.at``), then pointer-jumps
+    parents to full compression.  Each round is a handful of whole-array
+    NumPy operations and component diameters at least halve per round, so
+    the sweep finishes in ``O(log n)`` rounds — no per-edge Python loop.
+    """
+    parent = np.arange(n, dtype=np.int64)
+    if rows.size == 0 or n == 0:
+        return parent
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    while True:
+        pu = parent[rows]
+        pv = parent[cols]
+        if not np.any(pu != pv):
+            return parent
+        np.minimum.at(parent, np.maximum(pu, pv), np.minimum(pu, pv))
+        while True:
+            jumped = parent[parent]
+            if np.array_equal(jumped, parent):
+                break
+            parent = jumped
+
+
+def canonical_labels(roots: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary component roots to 0..k-1 in first-occurrence order."""
+    if roots.size == 0:
+        return roots.astype(np.int64)
+    uniq, first_index, inverse = np.unique(roots, return_index=True, return_inverse=True)
+    remap = np.empty(uniq.size, dtype=np.int64)
+    remap[np.argsort(first_index, kind="stable")] = np.arange(uniq.size)
+    return remap[inverse]
+
+
+def connected_components(graph) -> np.ndarray:
+    """Component label per vertex of a similarity graph.
+
+    ``graph`` is anything with ``n_vertices`` and an ``edges`` record array
+    carrying ``row``/``col``.  Labels are assigned in order of each
+    component's smallest vertex; isolated vertices get singleton labels.
+    """
+    edges = graph.edges
+    if edges.size == 0:
+        return np.arange(int(graph.n_vertices), dtype=np.int64)
+    roots = component_roots(
+        int(graph.n_vertices),
+        np.asarray(edges["row"], dtype=np.int64),
+        np.asarray(edges["col"], dtype=np.int64),
+    )
+    return canonical_labels(roots)

@@ -1,0 +1,303 @@
+"""Column-stochastic transition matrices over the similarity graph.
+
+Markov clustering walks the similarity graph with a column-stochastic
+transition matrix ``M``: ``M[j, c]`` is the probability that a random walk
+standing at sequence ``c`` steps to sequence ``j``.  This module wraps that
+matrix in :class:`StochasticMatrix` and supplies the three MCL operators —
+expansion (``M·M`` through the SpGEMM kernel registry under the plain
+arithmetic semiring), inflation (elementwise power + column
+renormalization), and pruning (per-column threshold / top-k sparsification
+with the discarded probability mass accounted per iteration).
+
+Storage is the CSR of the *transpose*: stored row ``c`` holds column ``c``
+of ``M``, so every per-column operation is a contiguous row operation and
+expansion is simply ``Mᵀ·Mᵀ = (M·M)ᵀ`` on the stored matrix — one
+:class:`~repro.sparse.csr.CsrMatrix` and the unchanged kernel registry, no
+CSC variant needed.
+
+Everything here is deterministic (stable sorts, index-ordered tie-breaks)
+and, because expansion goes through the registry whose backends are
+bit-identical under the arithmetic semiring, a whole MCL run is bit-identical
+across ``expand``/``gustavson``/``auto``/``scipy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from ..sparse.kernels import kernel_supports_batch_flops, resolve_kernel
+from ..sparse.semiring import ArithmeticSemiring
+from ..sparse.spgemm import SpGemmStats
+
+#: Edge-attribute transforms available for turning similarity scores into
+#: random-walk weights.
+WEIGHT_TRANSFORMS = ("ani", "score", "log_score", "unit")
+
+
+def similarity_weights(edges: np.ndarray, transform: str = "ani") -> np.ndarray:
+    """Edge weights for the random walk, from the similarity-graph attributes.
+
+    ``"ani"`` uses average identity (the paper's similarity measure, already
+    in [0, 1]); ``"score"`` the raw alignment score; ``"log_score"``
+    ``log1p(score)``, compressing the long score tail so one strong edge
+    cannot dominate a column; ``"unit"`` ignores attributes (pure topology).
+    """
+    if transform == "ani":
+        return np.asarray(edges["ani"], dtype=np.float64)
+    if transform == "score":
+        return np.asarray(edges["score"], dtype=np.float64)
+    if transform == "log_score":
+        return np.log1p(np.maximum(np.asarray(edges["score"], dtype=np.float64), 0.0))
+    if transform == "unit":
+        return np.ones(edges.size, dtype=np.float64)
+    raise ValueError(
+        f"unknown weight transform {transform!r}; available: {', '.join(WEIGHT_TRANSFORMS)}"
+    )
+
+
+@dataclass
+class PruneStats:
+    """Probability mass and entries discarded by one pruning pass.
+
+    ``pruned_mass`` sums the dropped (pre-renormalization) probabilities
+    across all columns; ``pruned_mass_max`` is the worst single column —
+    the quantity to watch when deciding whether a threshold/top-k setting
+    is distorting the walk rather than merely sparsifying it.
+    """
+
+    pruned_entries: int = 0
+    pruned_mass: float = 0.0
+    pruned_mass_max: float = 0.0
+
+
+class StochasticMatrix:
+    """A column-stochastic sparse matrix stored as the CSR of its transpose.
+
+    Construct via :meth:`from_similarity_graph` (which adds self loops and
+    normalizes) or wrap an existing transpose-CSR directly.  All operators
+    return new matrices; instances are treated as immutable.
+    """
+
+    def __init__(self, tcsr: CsrMatrix) -> None:
+        if tcsr.shape[0] != tcsr.shape[1]:
+            raise ValueError("stochastic matrices are square")
+        if tcsr.values.dtype != np.float64:
+            tcsr = CsrMatrix(
+                tcsr.shape, tcsr.indptr, tcsr.indices, tcsr.values.astype(np.float64)
+            )
+        self.tcsr = tcsr
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_similarity_graph(
+        cls,
+        graph,
+        transform: str = "ani",
+        self_loop_weight: float = 1.0,
+    ) -> "StochasticMatrix":
+        """Build the MCL transition matrix from a similarity graph.
+
+        Every undirected edge contributes both directions; every vertex gets
+        a self loop of ``self_loop_weight`` (MCL's standard fix for the
+        period-2 oscillation of bipartite-ish walks — and what keeps
+        isolated vertices valid columns); columns are then normalized.
+        ``graph`` is duck-typed: ``n_vertices`` plus an ``edges`` record
+        array with ``row``/``col`` and the attribute fields.
+        """
+        if self_loop_weight < 0:
+            raise ValueError("self_loop_weight must be non-negative")
+        n = int(graph.n_vertices)
+        edges = graph.edges
+        weights = similarity_weights(edges, transform)
+        rows = np.concatenate(
+            [np.asarray(edges["row"], dtype=np.int64),
+             np.asarray(edges["col"], dtype=np.int64),
+             np.arange(n, dtype=np.int64)]
+        )
+        cols = np.concatenate(
+            [np.asarray(edges["col"], dtype=np.int64),
+             np.asarray(edges["row"], dtype=np.int64),
+             np.arange(n, dtype=np.int64)]
+        )
+        values = np.concatenate(
+            [weights, weights, np.full(n, float(self_loop_weight))]
+        )
+        keep = values > 0
+        rows, cols, values = rows[keep], cols[keep], values[keep]
+        # the initial matrix is symmetric, so the transpose storage can be
+        # built from the same triplets; CSR rows are the matrix's columns
+        order = np.lexsort((rows, cols))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=n), out=indptr[1:])
+        tcsr = CsrMatrix((n, n), indptr, rows[order], values[order])
+        return cls(tcsr).normalize()
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape (n x n)."""
+        return self.tcsr.shape
+
+    @property
+    def n(self) -> int:
+        """Number of vertices / columns."""
+        return self.tcsr.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored transition probabilities."""
+        return self.tcsr.nnz
+
+    def memory_bytes(self) -> int:
+        """Footprint of the transpose-CSR storage."""
+        return self.tcsr.memory_bytes()
+
+    def _column_ids(self) -> np.ndarray:
+        """Stored-row (= matrix-column) id of every nonzero."""
+        return np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.tcsr.indptr)
+        )
+
+    def column_sums(self) -> np.ndarray:
+        """Per-column probability mass (1.0 for a normalized column)."""
+        return np.bincount(
+            self._column_ids(), weights=self.tcsr.values, minlength=self.n
+        )
+
+    def same_bits(self, other: "StochasticMatrix") -> bool:
+        """Exact structural and bitwise value equality (for determinism tests)."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.tcsr.indptr, other.tcsr.indptr)
+            and np.array_equal(self.tcsr.indices, other.tcsr.indices)
+            and np.array_equal(self.tcsr.values, other.tcsr.values)
+        )
+
+    # ------------------------------------------------------------------ MCL operators
+    def normalize(self) -> "StochasticMatrix":
+        """Rescale every column to sum to 1 (empty columns stay empty)."""
+        sums = self.column_sums()
+        scale = np.where(sums > 0, sums, 1.0)
+        values = self.tcsr.values / scale[self._column_ids()]
+        return StochasticMatrix(
+            CsrMatrix(self.shape, self.tcsr.indptr, self.tcsr.indices, values)
+        )
+
+    def expand(
+        self, kernel=None, batch_flops: int | None = None
+    ) -> tuple["StochasticMatrix", SpGemmStats]:
+        """MCL expansion ``M·M`` through the SpGEMM kernel registry.
+
+        In transpose storage ``(M·M)ᵀ = Mᵀ·Mᵀ``, so the stored matrix is
+        multiplied by itself under the plain arithmetic semiring.  The
+        product of column-stochastic matrices is column-stochastic up to
+        float rounding; the following inflation renormalizes, so no extra
+        normalization pass is spent here.
+        """
+        spgemm_kernel = resolve_kernel(kernel)
+        kwargs = {}
+        if batch_flops is not None:
+            if not kernel_supports_batch_flops(spgemm_kernel):
+                raise ValueError(
+                    f"SpGEMM backend {kernel!r} does not support batch_flops; "
+                    "use 'gustavson' or 'auto' for flop-budgeted expansion"
+                )
+            kwargs["batch_flops"] = batch_flops
+        t_coo = self.tcsr.to_coo()
+        product, stats = spgemm_kernel(
+            t_coo, t_coo, ArithmeticSemiring(), return_stats=True, **kwargs
+        )
+        return StochasticMatrix(CsrMatrix.from_coo(product)), stats
+
+    def inflate(self, power: float) -> "StochasticMatrix":
+        """MCL inflation: elementwise power, then column renormalization."""
+        if power <= 0:
+            raise ValueError("inflation power must be positive")
+        inflated = StochasticMatrix(
+            CsrMatrix(
+                self.shape,
+                self.tcsr.indptr,
+                self.tcsr.indices,
+                np.power(self.tcsr.values, power),
+            )
+        )
+        return inflated.normalize()
+
+    def prune(
+        self, threshold: float = 0.0, top_k: int | None = None
+    ) -> tuple["StochasticMatrix", PruneStats]:
+        """Per-column sparsification bounding memory across iterations.
+
+        Drops entries below ``threshold`` and, when ``top_k`` is given,
+        keeps only each column's ``top_k`` largest entries (ties broken by
+        ascending row index, so the result is deterministic).  Each
+        column's largest entry always survives.  The discarded probability
+        mass is returned in :class:`PruneStats`; surviving columns are
+        renormalized so the matrix stays stochastic.
+        """
+        if top_k is not None and top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        values = self.tcsr.values
+        col_ids = self._column_ids()
+        nnz = values.size
+        if nnz == 0:
+            return self, PruneStats()
+        # rank entries within each column: descending value, ascending index
+        order = np.lexsort((self.tcsr.indices, -values, col_ids))
+        sorted_cols = col_ids[order]
+        starts = np.flatnonzero(
+            np.concatenate([[True], np.diff(sorted_cols) != 0])
+        )
+        counts = np.diff(np.concatenate([starts, [nnz]]))
+        rank = np.empty(nnz, dtype=np.int64)
+        rank[order] = np.arange(nnz) - np.repeat(starts, counts)
+        keep = (values >= threshold) | (rank == 0)
+        if top_k is not None:
+            keep &= rank < top_k
+        dropped = ~keep
+        if not np.any(dropped):
+            return self, PruneStats()
+        dropped_mass = np.bincount(
+            col_ids[dropped], weights=values[dropped], minlength=self.n
+        )
+        stats = PruneStats(
+            pruned_entries=int(dropped.sum()),
+            pruned_mass=float(dropped_mass.sum()),
+            pruned_mass_max=float(dropped_mass.max()),
+        )
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(col_ids[keep], minlength=self.n), out=indptr[1:])
+        pruned = StochasticMatrix(
+            CsrMatrix(self.shape, indptr, self.tcsr.indices[keep], values[keep])
+        )
+        return pruned.normalize(), stats
+
+    # ------------------------------------------------------------------ convergence / clusters
+    def chaos(self) -> float:
+        """MCL's convergence measure: ``max over columns of (max - Σ v²)``.
+
+        Zero exactly when every column is a unit vector (the walk has
+        committed every sequence to one attractor); large while columns are
+        still spread over many candidates.
+        """
+        if self.nnz == 0:
+            return 0.0
+        col_ids = self._column_ids()
+        values = self.tcsr.values
+        sq_sums = np.bincount(col_ids, weights=values * values, minlength=self.n)
+        maxes = np.zeros(self.n, dtype=np.float64)
+        np.maximum.at(maxes, col_ids, values)
+        return float(np.max(maxes - sq_sums))
+
+    def attachment_pairs(self, tol: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """(column, attractor-row) pairs with probability above ``tol``.
+
+        In a converged MCL matrix ``M[j, c] > 0`` reads "column ``c`` is
+        attracted to ``j``"; the pairs are the bipartite attachment graph
+        whose connected components are the clusters.
+        """
+        mask = self.tcsr.values > tol
+        return self._column_ids()[mask], self.tcsr.indices[mask]

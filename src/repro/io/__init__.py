@@ -7,11 +7,13 @@
 """
 
 from .tables import format_table, format_markdown_table
-from .report import run_report, save_json, load_json
+from .report import clustering_report, clustering_table, run_report, save_json, load_json
 
 __all__ = [
     "format_table",
     "format_markdown_table",
+    "clustering_report",
+    "clustering_table",
     "run_report",
     "save_json",
     "load_json",

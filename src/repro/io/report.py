@@ -1,4 +1,5 @@
-"""Run reports: JSON serialization of statistics and benchmark series."""
+"""Run reports: JSON serialization of statistics and benchmark series,
+plus the clustering report table."""
 
 from __future__ import annotations
 
@@ -10,6 +11,7 @@ from typing import Any
 import numpy as np
 
 from ..core.stats import SearchStats
+from .tables import format_table
 
 
 def _jsonable(value: Any) -> Any:
@@ -33,6 +35,51 @@ def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[
     if extra:
         report.update(_jsonable(extra))
     return report
+
+
+def clustering_report(clustering) -> dict[str, Any]:
+    """A JSON-serializable report of a clustering run.
+
+    ``clustering`` is a :class:`repro.graph.api.ClusteringResult`
+    (duck-typed).  Includes the per-iteration MCL trajectory, so a saved
+    report can answer "when did pruning start discarding real mass".
+    """
+    report = _jsonable(clustering.summary())
+    report["iterations"] = [_jsonable(it.as_dict()) for it in clustering.iterations]
+    return report
+
+
+def clustering_table(clustering) -> str:
+    """Pretty-printed clustering report: summary lines + per-iteration table."""
+    quality = clustering.quality
+    lines = [
+        "Clustering",
+        f"  Method                        {clustering.method}"
+        + (f" ({clustering.backend} backend)" if clustering.backend else ""),
+        f"  Clusters                      {clustering.n_clusters:,}",
+        f"  Converged                     {clustering.converged}"
+        + (f" after {clustering.n_iterations} iterations" if clustering.iterations else ""),
+        f"  Modularity                    {quality.modularity:.4f}",
+        f"  Intra / inter mean score      {quality.intra_mean_score:.1f} / "
+        f"{quality.inter_mean_score:.1f}",
+        f"  Largest cluster               {quality.largest_cluster:,}",
+        f"  Singleton clusters            {quality.singleton_clusters:,}",
+    ]
+    if clustering.iterations:
+        rows = [
+            [it.iteration, it.nnz, it.flops, it.compression_factor,
+             it.pruned_entries, it.pruned_mass, it.chaos]
+            for it in clustering.iterations
+        ]
+        lines.append(
+            format_table(
+                ["iter", "nnz", "flops", "cf", "pruned", "pruned mass", "chaos"],
+                rows,
+                precision=4,
+                indent="  ",
+            )
+        )
+    return "\n".join(lines)
 
 
 def save_json(data: Any, path: str | os.PathLike) -> None:

@@ -21,7 +21,23 @@ The package ships three interchangeable SpGEMM kernels:
     local multiply of every SUMMA stage — estimates a lower bound on the
     compression factor from the operand sparsity patterns
     (:func:`predict_compression_factor`) and routes to ``"gustavson"`` above
-    :data:`AUTO_COMPRESSION_THRESHOLD`, ``"expand"`` below it.
+    the dispatch threshold, ``"expand"`` below it.  The threshold defaults
+    to :data:`AUTO_COMPRESSION_THRESHOLD` and is calibratable per
+    invocation via the ``compression_threshold`` keyword (plumbed from
+    ``PastisParams.auto_compression_threshold`` by the pipeline).
+
+``"scipy"``
+    :func:`spgemm_scipy`, wrapping ``scipy.sparse``'s C++ CSR matmul.  Only
+    registered when SciPy is importable, and only supports the plain
+    arithmetic (+, ×) semiring — but there it is the fastest backend by a
+    wide margin, which is why ``repro.graph``'s Markov-clustering expansion
+    prefers it.  Bit-identical to the other backends because
+    :class:`~repro.sparse.semiring.ArithmeticSemiring` reduces with strict
+    left-to-right association, the same order SciPy's scalar accumulator
+    uses.  Operands with duplicate coordinates are pre-merged with ``+``
+    (SciPy's own convention); canonical (duplicate-free) operands — all the
+    registry's consumers produce them — are required for the bit-identity
+    guarantee.
 
 All produce bit-identical outputs and :class:`~repro.sparse.spgemm.SpGemmStats`
 flop/nnz accounting (asserted by ``tests/test_spgemm_equivalence.py``), so
@@ -48,8 +64,14 @@ from typing import Callable
 
 import numpy as np
 
+from .coo import CooMatrix
 from .gustavson import spgemm_gustavson
-from .spgemm import spgemm
+from .spgemm import SpGemmStats, spgemm
+
+try:  # the scipy backend is registered only when scipy is importable
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised on scipy-free installs
+    _scipy_sparse = None
 
 #: Signature shared by all SpGEMM backends.
 SpGemmKernel = Callable[..., object]
@@ -111,6 +133,14 @@ def resolve_kernel(kernel: str | SpGemmKernel | None) -> SpGemmKernel:
     return get_kernel(kernel)
 
 
+def _kernel_has_parameter(kernel: SpGemmKernel, name: str) -> bool:
+    try:
+        parameters = inspect.signature(kernel).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return name in parameters
+
+
 def kernel_supports_batch_flops(kernel: SpGemmKernel) -> bool:
     """Whether a backend accepts the ``batch_flops`` flop-budget keyword.
 
@@ -118,11 +148,33 @@ def kernel_supports_batch_flops(kernel: SpGemmKernel) -> bool:
     ``**kwargs`` would swallow the budget without honoring it, silently
     defeating the memory bound the caller asked for.
     """
-    try:
-        parameters = inspect.signature(kernel).parameters
-    except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
-    return "batch_flops" in parameters
+    return _kernel_has_parameter(kernel, "batch_flops")
+
+
+def kernel_supports_compression_threshold(kernel: SpGemmKernel) -> bool:
+    """Whether a backend accepts the ``compression_threshold`` keyword.
+
+    Only the dispatching ``"auto"`` kernel does; fixed backends ignore the
+    calibration knob, so callers plumbing a configured threshold probe with
+    this instead of special-casing backend names.
+    """
+    return _kernel_has_parameter(kernel, "compression_threshold")
+
+
+def kernel_supports_semiring(kernel: SpGemmKernel, semiring) -> bool:
+    """Whether a backend supports ``semiring`` (or any semiring for ``None``).
+
+    Backends are generic unless they declare a ``supported_semirings`` tuple
+    of semiring names (the :func:`spgemm_scipy` wrapper declares
+    ``("plus_times",)``).  Generic consumers that sweep every registered
+    backend — the head-to-head benchmark, the cross-kernel test harness —
+    filter with this instead of catching the backend's rejection error.
+    """
+    supported = getattr(kernel, "supported_semirings", None)
+    if supported is None:
+        return True
+    name = "plus_times" if semiring is None else getattr(semiring, "name", None)
+    return name in supported
 
 
 # ------------------------------------------------------------------ auto dispatch
@@ -178,6 +230,7 @@ def spgemm_auto(
     semiring=None,
     return_stats: bool = False,
     batch_flops: int | None = None,
+    compression_threshold: float | None = None,
 ):
     """Backend-dispatching SpGEMM: Gustavson at high predicted compression.
 
@@ -186,19 +239,108 @@ def spgemm_auto(
     structure varies.  CSR operands always take the Gustavson path (the only
     CSR-capable backend), and so does an explicit ``batch_flops``: a flop
     budget is a request for bounded intermediate memory, which the expand
-    kernel cannot honor.
+    kernel cannot honor.  ``compression_threshold`` overrides the module
+    default :data:`AUTO_COMPRESSION_THRESHOLD` so the dispatch crossover can
+    be calibrated per run (``PastisParams.auto_compression_threshold``).
     """
+    threshold = (
+        AUTO_COMPRESSION_THRESHOLD if compression_threshold is None else compression_threshold
+    )
     is_csr = hasattr(a, "indptr") or hasattr(b, "indptr")
     if (
         is_csr
         or batch_flops is not None
-        or predict_compression_factor(a, b) >= AUTO_COMPRESSION_THRESHOLD
+        or predict_compression_factor(a, b) >= threshold
     ):
         kwargs = {} if batch_flops is None else {"batch_flops": batch_flops}
         return spgemm_gustavson(a, b, semiring, return_stats=return_stats, **kwargs)
     return spgemm(a, b, semiring, return_stats=return_stats)
 
 
+# ------------------------------------------------------------------ scipy backend
+def _to_scipy_csr(matrix):
+    """Convert a COO/CSR operand to a canonical float64 ``scipy.sparse.csr_array``."""
+    if hasattr(matrix, "indptr"):  # our CsrMatrix: canonical by construction
+        out = _scipy_sparse.csr_array(
+            (matrix.values.astype(np.float64), matrix.indices, matrix.indptr),
+            shape=matrix.shape,
+        )
+    else:
+        out = _scipy_sparse.coo_array(
+            (np.asarray(matrix.values, dtype=np.float64), (matrix.rows, matrix.cols)),
+            shape=matrix.shape,
+        ).tocsr()
+    out.sum_duplicates()
+    out.sort_indices()
+    return out
+
+
+def spgemm_scipy(a, b, semiring=None, return_stats: bool = False):
+    """SpGEMM through SciPy's C++ CSR matmul — plain arithmetic semiring only.
+
+    The fast path for conventional (+, ×) products such as the Markov
+    clustering expansion in :mod:`repro.graph`.  Output entries are sorted
+    row-major with one entry per coordinate and *bit-identical* to the other
+    backends: SciPy's scalar accumulator adds partial products for an output
+    entry in ascending inner-index order, exactly the order (and, since
+    :class:`~repro.sparse.semiring.ArithmeticSemiring` reduces with strict
+    left-to-right association, exactly the rounding) of the registry's other
+    kernels.  Operands holding duplicate coordinates are pre-merged with
+    ``+`` during CSR conversion — for duplicate-heavy inputs use a kernel
+    that keeps duplicates as separate partial products.
+
+    ``SpGemmStats.flops`` is the exact flop count read off the (merged)
+    sparsity patterns; ``intermediate_bytes`` is the triplet footprint of
+    the result, since the C++ kernel materializes no expanded intermediate.
+    """
+    if _scipy_sparse is None:  # pragma: no cover - registration is gated
+        raise RuntimeError("the 'scipy' SpGEMM backend requires scipy")
+    if semiring is not None and getattr(semiring, "name", None) != "plus_times":
+        raise ValueError(
+            "the 'scipy' SpGEMM backend supports only the plain arithmetic "
+            f"semiring, got {semiring!r}; use 'expand'/'gustavson'/'auto' for "
+            "overloaded semirings"
+        )
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions do not match: {a.shape} x {b.shape}")
+    out_shape = (a.shape[0], b.shape[1])
+
+    a_s = _to_scipy_csr(a)
+    b_s = _to_scipy_csr(b)
+    b_row_nnz = np.diff(b_s.indptr)
+    flops = int(b_row_nnz[a_s.indices].sum()) if a_s.nnz else 0
+    if flops == 0:
+        result = CooMatrix.empty(out_shape, dtype=np.float64)
+        stats = SpGemmStats(flops=0, output_nnz=0, intermediate_bytes=0, compression_factor=1.0)
+        return (result, stats) if return_stats else result
+
+    c = (a_s @ b_s).tocsr()
+    c.sum_duplicates()
+    c.sort_indices()
+    c_coo = c.tocoo()
+    result = CooMatrix(
+        out_shape,
+        c_coo.row.astype(np.int64),
+        c_coo.col.astype(np.int64),
+        np.ascontiguousarray(c_coo.data, dtype=np.float64),
+        check=False,
+    )
+    stats = SpGemmStats(
+        flops=flops,
+        output_nnz=result.nnz,
+        intermediate_bytes=result.memory_bytes(),
+        compression_factor=flops / result.nnz if result.nnz else 1.0,
+        row_groups=1,
+    )
+    return (result, stats) if return_stats else result
+
+
+#: Semiring capability declaration consumed by :func:`kernel_supports_semiring`.
+spgemm_scipy.supported_semirings = ("plus_times",)
+
+
 register_kernel("expand", spgemm)
 register_kernel("gustavson", spgemm_gustavson)
 register_kernel("auto", spgemm_auto)
+if _scipy_sparse is not None:
+    register_kernel("scipy", spgemm_scipy)

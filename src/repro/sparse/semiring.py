@@ -71,9 +71,45 @@ class Semiring:
         return f"{type(self).__name__}()"
 
 
+def sequential_segment_sum(values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
+    """Per-group sums with *strict left-to-right* float association.
+
+    ``np.add.reduceat`` accumulates with SIMD partial sums, so its result
+    depends on how the loop happens to be vectorized; a scalar kernel (such
+    as SciPy's C++ CSR matmul, which does ``sums[k] += v`` in generation
+    order) rounds differently at the ULP level.  This helper instead adds
+    each group's elements one at a time, left to right — the association
+    every scalar accumulator uses — while staying vectorized *across*
+    groups: round ``o`` adds element ``o`` of every group that still has
+    one, so the cost is ``O(total x max_group_size / simd_width)`` and small
+    whenever groups are (as for pruned MCL iterates) bounded.
+
+    This is what makes the plain arithmetic semiring bit-identical across
+    every registered SpGEMM backend *including* the SciPy wrapper
+    (``tests/test_spgemm_equivalence.py`` asserts it).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    group_starts = np.asarray(group_starts, dtype=np.int64)
+    counts = np.diff(np.concatenate([group_starts, [values.size]]))
+    out = values[group_starts].copy()
+    if counts.size == 0:
+        return out
+    for offset in range(1, int(counts.max())):
+        mask = counts > offset
+        out[mask] += values[group_starts[mask] + offset]
+    return out
+
+
 @dataclass
 class ArithmeticSemiring(Semiring):
-    """Conventional (+, ×) semiring over float64 — for validation against SciPy."""
+    """Conventional (+, ×) semiring over float64 — for validation against SciPy.
+
+    The additive reduce uses :func:`sequential_segment_sum` (strict
+    left-to-right association) rather than ``np.add.reduceat``, so the sums
+    are bit-identical to any scalar accumulator that adds partial products
+    in generation order — in particular SciPy's CSR matmul, which backs the
+    registry's ``"scipy"`` kernel.
+    """
 
     value_dtype: np.dtype = np.dtype(np.float64)
     name: str = "plus_times"
@@ -82,7 +118,7 @@ class ArithmeticSemiring(Semiring):
         return np.asarray(a_values, dtype=np.float64) * np.asarray(b_values, dtype=np.float64)
 
     def reduce(self, values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
-        return np.add.reduceat(np.asarray(values, dtype=np.float64), group_starts)
+        return sequential_segment_sum(values, group_starts)
 
 
 @dataclass

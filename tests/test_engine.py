@@ -231,6 +231,72 @@ def test_accumulator_lifecycle_and_finalize():
     assert graph.edge_key_set() == {(1, 2), (3, 5)}
 
 
+def test_accumulator_all_empty_blocks():
+    """A run whose every block yields zero edges produces the empty graph."""
+    from repro.core.align_phase import EDGE_DTYPE
+
+    acc = StreamingGraphAccumulator(n_vertices=8)
+    for nbytes in (300, 0, 120):
+        acc.block_computed(nbytes)
+        acc.consume(np.zeros(0, dtype=EDGE_DTYPE))
+        acc.block_discarded(nbytes)
+    assert acc.edges_streamed == 0
+    assert acc.memory.peak("edge_buffer") == 0  # nothing buffered for empty streams
+    assert acc.peak_live_block_bytes == 300
+    assert acc.retained_block_bytes == 420
+    graph = acc.finalize()
+    assert graph.num_edges == 0
+    assert graph.n_vertices == 8
+
+
+def test_accumulator_deduplicates_edges_across_blocks():
+    """The same pair arriving from two different blocks survives only once."""
+    from repro.core.align_phase import EDGE_DTYPE
+
+    def one_edge(row, col, score):
+        edges = np.zeros(1, dtype=EDGE_DTYPE)
+        edges["row"], edges["col"], edges["score"] = row, col, score
+        return edges
+
+    acc = StreamingGraphAccumulator(n_vertices=6)
+    acc.block_computed(100)
+    acc.consume(one_edge(1, 4, score=50))
+    acc.block_discarded(100)
+    acc.block_computed(100)
+    acc.consume(one_edge(4, 1, score=99))  # same unordered pair, later block
+    acc.consume(one_edge(2, 3, score=10))
+    acc.block_discarded(100)
+    assert acc.edges_streamed == 3  # streamed count is pre-canonicalization
+    graph = acc.finalize()
+    assert graph.num_edges == 2
+    assert graph.edge_key_set() == {(1, 4), (2, 3)}
+    # first occurrence wins the duplicate's attributes
+    pair = graph.edges[(graph.edges["row"] == 1) & (graph.edges["col"] == 4)]
+    assert pair["score"][0] == 50
+
+
+def test_accumulator_zero_edge_block_memory_accounting():
+    """A block that yields no edges still counts toward live/retained bytes."""
+    from repro.core.align_phase import EDGE_DTYPE
+
+    acc = StreamingGraphAccumulator(n_vertices=4)
+    acc.block_computed(5000)  # live but will produce nothing
+    acc.consume(np.zeros(0, dtype=EDGE_DTYPE))
+    assert acc.live_block_bytes == 5000
+    acc.block_computed(2000)  # second block live concurrently (pre-blocking)
+    assert acc.peak_live_block_bytes == 7000
+    acc.block_discarded(5000)
+    edges = np.zeros(1, dtype=EDGE_DTYPE)
+    edges["row"], edges["col"] = 0, 2
+    acc.consume(edges)
+    acc.block_discarded(2000)
+    assert acc.live_block_bytes == 0
+    assert acc.peak_live_block_bytes == 7000
+    assert acc.retained_block_bytes == 7000
+    assert acc.memory.peak("edge_buffer") == edges.nbytes
+    assert acc.finalize().num_edges == 1
+
+
 # ---------------------------------------------------------------- satellite plumbing
 def test_batch_flops_forces_multi_group_batching_end_to_end(
     small_seqs, fast_params, pipeline_result
@@ -268,6 +334,29 @@ def test_auto_backend_matches_fixed_backends(small_seqs, fast_params, pipeline_r
     assert auto.similarity_graph == pipeline_result.similarity_graph
     assert auto.stats.spgemm_flops == pipeline_result.stats.spgemm_flops
     assert auto.stats.candidates_discovered == pipeline_result.stats.candidates_discovered
+
+
+def test_auto_compression_threshold_plumbs_to_dispatch(small_seqs, fast_params):
+    """The params knob reaches every SUMMA stage's auto dispatch.
+
+    Forcing the threshold to the extremes pins the dispatch to one backend
+    each way; the graphs must agree (backends are bit-identical) while the
+    forced-Gustavson run shows its row-group batching in the stats.
+    """
+    base = fast_params.replace(spgemm_backend="auto", batch_flops=64)
+    all_gustavson = PastisPipeline(
+        base.replace(auto_compression_threshold=1e-9)
+    ).run(small_seqs)
+    # batch_flops forces the gustavson path regardless, so drop it for the
+    # expand-pinning run
+    all_expand = PastisPipeline(
+        base.replace(auto_compression_threshold=1e9, batch_flops=None)
+    ).run(small_seqs)
+    assert all_gustavson.similarity_graph == all_expand.similarity_graph
+    assert (
+        all_gustavson.stats.extras["spgemm_row_groups"]
+        > all_expand.stats.extras["spgemm_row_groups"]
+    )
 
 
 def test_predict_compression_factor_is_a_lower_bound():

@@ -25,6 +25,34 @@ def test_from_edges_canonicalizes():
     assert pairs == {(1, 3), (0, 4)}
 
 
+def test_from_edges_dedup_keeps_first_occurrence_attributes():
+    edges = make_edges([(3, 1), (1, 3), (1, 3)], score=10)
+    edges["score"] = [10, 20, 30]
+    graph = SimilarityGraph.from_edges(edges, 5)
+    assert graph.num_edges == 1
+    assert graph.edges["score"][0] == 10  # first occurrence wins
+
+
+def test_from_edges_no_int64_key_collisions_at_large_n_vertices():
+    """The former ``row * n + col`` dedup key wrapped past int64 for huge n.
+
+    With ``n_vertices = 2**62`` the pairs (4, 5) and (0, 5) produced keys
+    ``2**64 + 5`` and ``5`` — identical after int64 wraparound — so one of
+    two *distinct* edges was silently dropped.  The coordinate-wise dedup
+    must keep both.
+    """
+    n = 2**62
+    edges = make_edges([(4, 5), (0, 5), (4, 5)])  # one true duplicate
+    graph = SimilarityGraph.from_edges(edges, n)
+    assert graph.num_edges == 2
+    assert graph.edge_key_set() == {(4, 5), (0, 5)}
+    # pairs built from genuinely huge indices survive too
+    big = make_edges([(n - 2, n - 1), (0, n - 1), (n - 2, n - 1)])
+    graph = SimilarityGraph.from_edges(big, n)
+    assert graph.num_edges == 2
+    assert graph.edge_key_set() == {(n - 2, n - 1), (0, n - 1)}
+
+
 def test_empty_graph():
     graph = SimilarityGraph.empty(10)
     assert graph.num_edges == 0

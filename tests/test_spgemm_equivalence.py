@@ -204,6 +204,141 @@ def test_reduce_by_coordinate_empty_input():
     assert vals.dtype == OverlapSemiring().value_dtype
 
 
+# ------------------------------------------------------------------ scipy backend
+def _has_scipy():
+    return "scipy" in available_kernels()
+
+
+def _random_float_case(seed):
+    """Canonical (duplicate-free) float64 operands for the scipy backend."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 40))
+    k = int(rng.integers(1, 50))
+    m = int(rng.integers(1, 40))
+    nnz_a = int(rng.integers(0, n * min(k, 10)))
+    nnz_b = int(rng.integers(0, k * min(m, 10)))
+    a = CooMatrix(
+        (n, k), rng.integers(0, n, nnz_a), rng.integers(0, k, nnz_a), rng.random(nnz_a)
+    ).deduplicate()
+    b = CooMatrix(
+        (k, m), rng.integers(0, k, nnz_b), rng.integers(0, m, nnz_b), rng.random(nnz_b)
+    ).deduplicate()
+    return a, b
+
+
+@pytest.mark.skipif(not _has_scipy(), reason="scipy not importable")
+@pytest.mark.parametrize("seed", range(15))
+def test_scipy_backend_bit_identical_under_arithmetic_semiring(seed):
+    """Values, indices, and flop accounting all match the native kernels.
+
+    Bit-identity (not allclose) holds because the arithmetic semiring
+    reduces with strict left-to-right association — the same order SciPy's
+    scalar accumulator adds partial products in.
+    """
+    from repro.sparse.kernels import spgemm_scipy
+
+    a, b = _random_float_case(seed)
+    c1, s1 = spgemm(a, b, ArithmeticSemiring(), return_stats=True)
+    c2, s2 = spgemm_gustavson(a, b, ArithmeticSemiring(), return_stats=True, batch_flops=131)
+    c3, s3 = spgemm_scipy(a, b, ArithmeticSemiring(), return_stats=True)
+    assert c1 == c2 == c3
+    assert np.array_equal(c1.values, c3.values)  # bitwise, beyond __eq__'s dtype check
+    assert s1.flops == s2.flops == s3.flops
+    assert s1.output_nnz == s3.output_nnz
+
+
+@pytest.mark.skipif(not _has_scipy(), reason="scipy not importable")
+def test_scipy_backend_accepts_csr_and_default_semiring():
+    from repro.sparse.csr import CsrMatrix
+    from repro.sparse.kernels import spgemm_scipy
+
+    a, b = _random_float_case(3)
+    via_coo = spgemm_scipy(a, b)
+    via_csr = spgemm_scipy(CsrMatrix.from_coo(a), CsrMatrix.from_coo(b))
+    assert via_coo == via_csr == spgemm(a, b)
+
+
+@pytest.mark.skipif(not _has_scipy(), reason="scipy not importable")
+def test_scipy_backend_rejects_overloaded_semirings():
+    from repro.sparse.kernels import kernel_supports_semiring, spgemm_scipy
+
+    a, b = _random_float_case(0)
+    with pytest.raises(ValueError, match="plain arithmetic"):
+        spgemm_scipy(a, b, OverlapSemiring())
+    assert not kernel_supports_semiring(spgemm_scipy, OverlapSemiring())
+    assert kernel_supports_semiring(spgemm_scipy, ArithmeticSemiring())
+    assert kernel_supports_semiring(spgemm_scipy, None)
+    # generic backends remain semiring-agnostic
+    assert kernel_supports_semiring(spgemm, OverlapSemiring())
+
+
+@pytest.mark.skipif(not _has_scipy(), reason="scipy not importable")
+def test_scipy_backend_empty_cases():
+    from repro.sparse.kernels import spgemm_scipy
+
+    c, s = spgemm_scipy(
+        CooMatrix.empty((4, 6), dtype=np.float64),
+        CooMatrix.empty((6, 3), dtype=np.float64),
+        return_stats=True,
+    )
+    assert c.nnz == 0 and c.shape == (4, 3)
+    assert s.flops == 0
+    with pytest.raises(ValueError, match="inner dimensions"):
+        spgemm_scipy(CooMatrix.empty((3, 4)), CooMatrix.empty((5, 3)))
+
+
+def test_scipy_backend_excluded_from_pipeline_params():
+    """The overlap pipeline must reject plain-arithmetic-only backends."""
+    if not _has_scipy():
+        pytest.skip("scipy not importable")
+    from repro.core.params import PastisParams
+
+    with pytest.raises(ValueError, match="overlap semiring"):
+        PastisParams(spgemm_backend="scipy")
+
+
+# ------------------------------------------------------------------ auto threshold
+def test_auto_compression_threshold_steers_dispatch():
+    """threshold -> 0 forces Gustavson, threshold -> inf forces expand."""
+    from repro.sparse.kernels import (
+        kernel_supports_compression_threshold,
+        spgemm_auto,
+    )
+
+    rng = np.random.default_rng(21)
+    a = CooMatrix(
+        (150, 20), rng.integers(0, 150, 3000), rng.integers(0, 20, 3000),
+        rng.random(3000),
+    ).deduplicate()
+    # big enough that the Gustavson default flop budget forces >1 row group,
+    # making the chosen backend observable through SpGemmStats
+    _, low = spgemm_auto(
+        a, a.transpose(), ArithmeticSemiring(), return_stats=True, compression_threshold=0.0
+    )
+    _, high = spgemm_auto(
+        a, a.transpose(), ArithmeticSemiring(), return_stats=True,
+        compression_threshold=float("inf"),
+    )
+    assert low.row_groups > 1  # Gustavson path, batched
+    assert high.row_groups == 1  # expand path, single pass
+    assert low.intermediate_bytes < high.intermediate_bytes
+    assert low.flops == high.flops
+    assert kernel_supports_compression_threshold(spgemm_auto)
+    assert not kernel_supports_compression_threshold(spgemm)
+    assert not kernel_supports_compression_threshold(spgemm_gustavson)
+
+
+def test_auto_compression_threshold_plumbs_through_params():
+    from repro.core.params import PastisParams
+    from repro.sparse.kernels import AUTO_COMPRESSION_THRESHOLD
+
+    assert PastisParams().auto_compression_threshold == AUTO_COMPRESSION_THRESHOLD
+    params = PastisParams(auto_compression_threshold=7.5)
+    assert params.auto_compression_threshold == 7.5
+    with pytest.raises(ValueError, match="auto_compression_threshold"):
+        PastisParams(auto_compression_threshold=0.0)
+
+
 # ------------------------------------------------------------------ registry
 def test_registry_lookup_and_default():
     assert set(available_kernels()) >= {"expand", "gustavson"}
