@@ -1,0 +1,183 @@
+"""Calibration sweep for ``auto_compression_threshold``.
+
+The ``"auto"`` SpGEMM backend routes each invocation to Gustavson when the
+predicted compression factor exceeds a threshold
+(``PastisParams.auto_compression_threshold``, default
+:data:`repro.sparse.kernels.AUTO_COMPRESSION_THRESHOLD`).  The knob has been
+plumbed end to end since PR 3, but the ROADMAP noted that a *measured*
+calibration curve did not yet exist.  This bench produces it:
+
+1. generate overlap-style operands spanning a range of compression factors
+   (dense inner dimension → high cf; sparse → low cf);
+2. time the two fixed kernels head to head on every case (asserting
+   bit-identical outputs, so the comparison is purely about resources) —
+   the *crossover curve*;
+3. sweep the threshold over the ``"auto"`` kernel and record the total
+   sweep time each setting yields, plus which backend it dispatched per
+   case.
+
+Writes ``benchmarks/results/BENCH_auto_threshold.json``: per-case predicted
+and exact compression factors, per-kernel seconds, the empirical crossover,
+and the per-threshold totals — the numbers to set the default from.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.kernels import (
+    AUTO_COMPRESSION_THRESHOLD,
+    predict_compression_factor,
+    spgemm_auto,
+)
+from repro.sparse.gustavson import spgemm_gustavson
+from repro.sparse.semiring import OverlapSemiring
+from repro.sparse.spgemm import spgemm
+
+from conftest import save_results
+
+#: Inner-dimension sizes spanning low to high compression factors at fixed
+#: nnz (smaller k -> more collisions -> higher cf).
+INNER_DIMS = (20, 60, 200, 800, 3000, 12000)
+CASE = dict(n=300, nnz=5000, seed=13)
+#: 1e30 is the "never dispatch to Gustavson" sentinel (finite so the JSON
+#: artifact stays strictly parseable — float("inf") would serialize as the
+#: non-standard token Infinity).
+THRESHOLDS = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 1e30)
+
+
+def _operand(n: int, k: int, nnz: int, seed: int) -> tuple[CooMatrix, CooMatrix]:
+    rng = np.random.default_rng(seed)
+    a = CooMatrix(
+        (n, k), rng.integers(0, n, nnz), rng.integers(0, k, nnz),
+        rng.integers(0, 90, nnz).astype(np.int32),
+    ).deduplicate()
+    return a, a.transpose()
+
+
+def _best_seconds(fn, *args, repeats: int, **kwargs) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_threshold_sweep(inner_dims=INNER_DIMS, repeats: int = 3) -> dict:
+    """Head-to-head crossover curve + per-threshold auto-dispatch totals."""
+    semiring = OverlapSemiring()
+    cases = []
+    for k in inner_dims:
+        a, at = _operand(k=k, **CASE)
+        predicted_cf = predict_compression_factor(a, at)
+        expand_result, stats = spgemm(a, at, semiring, return_stats=True)
+        gustavson_result = spgemm_gustavson(a, at, semiring)
+        assert expand_result == gustavson_result, f"kernels disagree at k={k}"
+        cases.append(
+            {
+                "inner_dim": k,
+                "predicted_cf": predicted_cf,
+                "exact_cf": stats.compression_factor,
+                "flops": stats.flops,
+                "expand_seconds": _best_seconds(spgemm, a, at, semiring, repeats=repeats),
+                "gustavson_seconds": _best_seconds(
+                    spgemm_gustavson, a, at, semiring, repeats=repeats
+                ),
+                "_operands": (a, at),
+            }
+        )
+    # empirical crossover: the lowest predicted cf at which Gustavson wins
+    winners = [
+        c["predicted_cf"] for c in cases if c["gustavson_seconds"] < c["expand_seconds"]
+    ]
+    crossover = min(winners) if winners else None
+
+    thresholds = []
+    for threshold in THRESHOLDS:
+        total = 0.0
+        routed = []
+        for case in cases:
+            a, at = case["_operands"]
+            total += _best_seconds(
+                spgemm_auto, a, at, semiring,
+                compression_threshold=threshold, repeats=repeats,
+            )
+            routed.append(
+                "gustavson" if case["predicted_cf"] >= threshold else "expand"
+            )
+        thresholds.append(
+            {"threshold": threshold, "total_seconds": total, "routed": routed}
+        )
+    for case in cases:
+        del case["_operands"]
+    best = min(thresholds, key=lambda t: t["total_seconds"])
+    return {
+        "case": dict(CASE),
+        "default_threshold": AUTO_COMPRESSION_THRESHOLD,
+        "cases": cases,
+        "empirical_crossover_cf": crossover,
+        "thresholds": thresholds,
+        "best_threshold": best["threshold"],
+        "best_total_seconds": best["total_seconds"],
+    }
+
+
+def _print_report(out: dict) -> None:
+    header = (
+        f"{'inner dim':>9} {'pred cf':>8} {'exact cf':>9} "
+        f"{'expand s':>9} {'gustavson s':>11} {'winner':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for case in out["cases"]:
+        winner = (
+            "gustavson" if case["gustavson_seconds"] < case["expand_seconds"] else "expand"
+        )
+        print(
+            f"{case['inner_dim']:>9} {case['predicted_cf']:>8.2f} {case['exact_cf']:>9.2f} "
+            f"{case['expand_seconds']:>9.4f} {case['gustavson_seconds']:>11.4f} {winner:>10}"
+        )
+    print(
+        f"empirical crossover at predicted cf ~ {out['empirical_crossover_cf']}; "
+        f"default threshold {out['default_threshold']}; "
+        f"best sweep threshold {out['best_threshold']} "
+        f"({out['best_total_seconds']:.4f}s total)"
+    )
+
+
+def test_auto_threshold_calibration(benchmark):
+    """Crossover curve + a pytest-benchmark timing of one auto dispatch."""
+    out = run_threshold_sweep()
+    save_results("BENCH_auto_threshold", out)
+    _print_report(out)
+    a, at = _operand(k=60, **CASE)
+    benchmark(spgemm_auto, a, at, OverlapSemiring())
+    benchmark.extra_info["best_threshold"] = out["best_threshold"]
+    # the compression factors must actually span the crossover regime
+    cfs = [c["predicted_cf"] for c in out["cases"]]
+    assert max(cfs) > 2.0 > min(cfs)
+
+
+def _smoke() -> None:
+    """Standalone sweep (reduced repeats) — runnable without pytest."""
+    out = run_threshold_sweep(repeats=1)
+    _print_report(out)
+    save_results("BENCH_auto_threshold", out)
+    cfs = [c["predicted_cf"] for c in out["cases"]]
+    assert max(cfs) > 2.0 > min(cfs), "cases no longer span the dispatch crossover"
+    assert out["thresholds"], "threshold sweep produced no rows"
+    print("smoke OK: crossover curve measured; outputs bit-identical across kernels")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        _smoke()
+    else:
+        sys.exit("usage: python benchmarks/bench_auto_threshold.py --smoke "
+                 "(full benchmarks run via: pytest benchmarks/ --benchmark-only)")

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...mpi.costmodel import charge_overlap_slot
 from ..align_phase import BlockAlignmentOutput
 from ..preblocking import PreblockingModel
 from .stages import BlockRecord, BlockTask, StageContext
@@ -201,10 +202,9 @@ class OverlappedScheduler(Scheduler):
             if nxt is not None:
                 # the slot costs the slower of the two co-scheduled stages;
                 # the hidden remainder is ledgered for reconciliation
-                clock += np.maximum(align_sched, sparse_sched_next)
-                hidden = np.minimum(align_sched, sparse_sched_next)
-                for rank in range(ctx.comm.size):
-                    ledger.charge(rank, OVERLAP_HIDDEN_CATEGORY, float(hidden[rank]))
+                charge_overlap_slot(
+                    ledger, clock, align_sched, sparse_sched_next, OVERLAP_HIDDEN_CATEGORY
+                )
             else:
                 # epilogue: the last block's alignment runs alone
                 clock += align_sched

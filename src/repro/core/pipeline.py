@@ -188,17 +188,25 @@ class PastisPipeline:
             t0 = time.perf_counter()
             clustering = cluster_similarity_graph(graph, params.cluster)
             cluster_wall = time.perf_counter() - t0
-            # MCL expansion traffic is ~24 bytes per partial product (row,
-            # col, float64 value), spread over the ranks like the other
-            # sparse work; charged to its own ledger category so component
-            # breakdowns of search-only runs are unchanged
-            cluster_seconds = (
-                cost_model.sparse_traversal_seconds(
+            if params.clock != "modeled":
+                # measured clock: every category holds wall seconds, so the
+                # cluster stage must too (whatever driver produced it)
+                cluster_seconds = cluster_wall / comm.size
+            elif clustering.dist is not None:
+                # distributed MCL (ClusterParams.nprocs > 1) ran on its own
+                # cluster_* ledger grid; its bulk-synchronous stage total
+                # (slowest rank's clock + comm) is spread over the search
+                # ranks, and the full per-rank breakdown lands in
+                # stats.extras["clustering"]["dist"]
+                cluster_seconds = float(clustering.dist["total_seconds"]) / comm.size
+            else:
+                # MCL expansion traffic is ~24 bytes per partial product
+                # (row, col, float64 value), spread over the ranks like the
+                # other sparse work; charged to its own ledger category so
+                # component breakdowns of search-only runs are unchanged
+                cluster_seconds = cost_model.sparse_traversal_seconds(
                     24.0 * clustering.total_expand_flops / comm.size
                 )
-                if params.clock == "modeled"
-                else cluster_wall / comm.size
-            )
             comm.ledger.charge_all("cluster", cluster_seconds)
 
         # ---- totals, pre-blocking view, statistics ----------------------------------

@@ -147,6 +147,17 @@ class BlockedSpGemm:
         Dispatch crossover of the ``"auto"`` kernel
         (``PastisParams.auto_compression_threshold``); ignored by fixed
         backends, ``None`` keeps the registry default.
+    deferred_merge:
+        Run each block's SUMMA with the deferred local multiply (one kernel
+        invocation per rank over the gathered stripes, after all stage
+        broadcasts) instead of per-stage multiplies — identical
+        communication, but per-element bit-identity with a serial kernel on
+        the undistributed operands (see :func:`repro.distsparse.summa.summa`).
+        The distributed Markov clustering requires it.
+    collectives:
+        Optional substitute :class:`~repro.mpi.collectives.CollectiveEngine`
+        charging the broadcasts (e.g. into a dedicated ledger category);
+        ``None`` uses the communicator's default engine.
     """
 
     a: DistSparseMatrix
@@ -157,6 +168,8 @@ class BlockedSpGemm:
     spgemm_backend: str | None = None
     batch_flops: int | None = None
     auto_compression_threshold: float | None = None
+    deferred_merge: bool = False
+    collectives: object = None
     peak_block_bytes: int = field(default=0, init=False)
     total_stats: SpGemmStats = field(default_factory=SpGemmStats, init=False)
     blocks_computed: int = field(default=0, init=False)
@@ -183,6 +196,8 @@ class BlockedSpGemm:
             spgemm_backend=self.spgemm_backend,
             batch_flops=self.batch_flops,
             auto_compression_threshold=self.auto_compression_threshold,
+            deferred_merge=self.deferred_merge,
+            collectives=self.collectives,
         )
         self.blocks_computed += 1
         self.total_stats = self.total_stats.merge(result.stats)

@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..mpi.process_grid import is_perfect_square
 from ..sparse.kernels import available_kernels, get_kernel, kernel_supports_batch_flops
 from .components import connected_components
+from .dist import DistMarkovClustering
 from .matrix import WEIGHT_TRANSFORMS
 from .mcl import MarkovClustering, MclIterationStats
 from .quality import ClusterQuality, evaluate_clustering
@@ -58,6 +60,22 @@ class ClusterParams:
         Requires a batching backend: with ``spgemm_backend=None`` the
         resolution switches to ``"gustavson"``; an explicit non-batching
         backend is rejected at validation.
+    nprocs:
+        Number of virtual ranks the clustering stage runs on (a perfect
+        square, as for the search grid).  ``1`` keeps the single-rank
+        :class:`~repro.graph.mcl.MarkovClustering`; larger values run
+        :class:`~repro.graph.dist.DistMarkovClustering` — the transition
+        matrix blocked over the 2D grid, expansion through the blocked
+        SUMMA, collectives charged to the ``cluster_comm`` ledger category.
+        Results are bit-identical either way.
+    overlap:
+        Distributed runs only: co-schedule ``expand(b+1)`` with ``prune(b)``
+        on the simulated clock (hidden seconds ledgered under
+        ``cluster_overlap_hidden``).  Labels are unaffected.
+    regularized:
+        Regularized MCL (expand against the *original* transition matrix
+        each iteration) — the cheap sensitivity option; honored by both the
+        single-rank and the distributed driver.
     """
 
     enabled: bool = False
@@ -71,6 +89,9 @@ class ClusterParams:
     tolerance: float = 1e-9
     spgemm_backend: str | None = None
     batch_flops: int | None = None
+    nprocs: int = 1
+    overlap: bool = False
+    regularized: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -112,6 +133,15 @@ class ClusterParams:
                     "batch_flops; use 'gustavson' or 'auto' (or leave the "
                     "backend unset) for flop-budgeted expansion"
                 )
+        if not is_perfect_square(self.nprocs):
+            raise ValueError(
+                f"nprocs ({self.nprocs}) must be a perfect square (2D grid requirement)"
+            )
+        if self.nprocs > 1 and self.method != "mcl":
+            raise ValueError(
+                "distributed clustering (nprocs > 1) is only available for "
+                f"method 'mcl', got {self.method!r}"
+            )
 
     def resolve_backend(self) -> str | None:
         """The backend actually used when none is configured explicitly.
@@ -136,7 +166,16 @@ class ClusterParams:
 
 @dataclass
 class ClusteringResult:
-    """A clustering of the similarity graph, with provenance and quality."""
+    """A clustering of the similarity graph, with provenance and quality.
+
+    ``iterations`` holds per-iteration MCL stats —
+    :class:`~repro.graph.mcl.MclIterationStats` for single-rank runs,
+    :class:`~repro.graph.dist.DistMclIterationStats` for distributed ones
+    (both expose ``flops``, ``pruned_mass`` and ``as_dict``).  ``dist`` is
+    the distributed run's per-rank communication/compute summary (grid,
+    ledger categories, byte counters, volume model), ``None`` for
+    single-rank runs.
+    """
 
     method: str
     labels: np.ndarray
@@ -146,6 +185,8 @@ class ClusteringResult:
     quality: ClusterQuality
     iterations: list[MclIterationStats] = field(default_factory=list)
     backend: str | None = None
+    nprocs: int = 1
+    dist: dict | None = None
 
     @property
     def total_expand_flops(self) -> int:
@@ -169,6 +210,10 @@ class ClusteringResult:
         }
         if self.backend is not None:
             out["backend"] = self.backend
+        if self.nprocs > 1:
+            out["nprocs"] = self.nprocs
+        if self.dist is not None:
+            out["dist"] = dict(self.dist)
         out.update(self.quality.as_dict())
         return out
 
@@ -193,6 +238,38 @@ def cluster_similarity_graph(graph, params: ClusterParams | None = None) -> Clus
             quality=evaluate_clustering(graph, labels, params.weight_transform),
         )
     backend = params.resolve_backend()
+    if params.nprocs > 1:
+        dist_mcl = DistMarkovClustering(
+            nprocs=params.nprocs,
+            inflation=params.inflation,
+            max_iterations=params.max_iterations,
+            prune_threshold=params.prune_threshold,
+            top_k=params.top_k,
+            tolerance=params.tolerance,
+            spgemm_backend=backend,
+            batch_flops=params.batch_flops,
+            overlap=params.overlap,
+            regularized=params.regularized,
+        )
+        dist_result = dist_mcl.fit_graph(
+            graph,
+            transform=params.weight_transform,
+            self_loop_weight=params.self_loop_weight,
+        )
+        dist_stats = dist_result.comm_stats()
+        dist_stats["total_seconds"] = dist_result.total_seconds()
+        return ClusteringResult(
+            method="mcl",
+            labels=dist_result.labels,
+            n_clusters=dist_result.n_clusters,
+            converged=dist_result.converged,
+            n_iterations=dist_result.n_iterations,
+            quality=evaluate_clustering(graph, dist_result.labels, params.weight_transform),
+            iterations=dist_result.iterations,
+            backend=backend if isinstance(backend, str) else None,
+            nprocs=params.nprocs,
+            dist=dist_stats,
+        )
     mcl = MarkovClustering(
         inflation=params.inflation,
         max_iterations=params.max_iterations,
@@ -201,6 +278,7 @@ def cluster_similarity_graph(graph, params: ClusterParams | None = None) -> Clus
         tolerance=params.tolerance,
         spgemm_backend=backend,
         batch_flops=params.batch_flops,
+        regularized=params.regularized,
     )
     result = mcl.fit_graph(
         graph, transform=params.weight_transform, self_loop_weight=params.self_loop_weight

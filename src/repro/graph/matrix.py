@@ -72,6 +72,127 @@ class PruneStats:
     pruned_mass: float = 0.0
     pruned_mass_max: float = 0.0
 
+    def merge(self, other: "PruneStats") -> "PruneStats":
+        """Combine stats from disjoint column ranges (e.g. grid-row stripes)."""
+        return PruneStats(
+            pruned_entries=self.pruned_entries + other.pruned_entries,
+            pruned_mass=self.pruned_mass + other.pruned_mass,
+            pruned_mass_max=max(self.pruned_mass_max, other.pruned_mass_max),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-column operators on a transpose-CSR.
+#
+# Each stored CSR row is one logical column of the column-stochastic matrix,
+# so every operator below is a contiguous row operation.  None of them needs
+# the matrix to be square — they work on any *stripe* of stored rows, and
+# because each column lives entirely inside one stored row, running them on
+# the grid-row stripes of :class:`repro.graph.dist.DistStochasticMatrix` and
+# concatenating is bit-identical to running them on the whole matrix.  That
+# shared-code property is what the distributed MCL's bit-identity guarantee
+# rests on; :class:`StochasticMatrix` delegates to these same functions.
+# ---------------------------------------------------------------------------
+def stored_row_ids(tcsr: CsrMatrix) -> np.ndarray:
+    """Stored-row (= logical-column) id of every nonzero."""
+    return np.repeat(
+        np.arange(tcsr.shape[0], dtype=np.int64), np.diff(tcsr.indptr)
+    )
+
+
+def column_sums_tcsr(tcsr: CsrMatrix) -> np.ndarray:
+    """Per-stored-row (= per-column) probability mass."""
+    return np.bincount(
+        stored_row_ids(tcsr), weights=tcsr.values, minlength=tcsr.shape[0]
+    )
+
+
+def normalize_tcsr(tcsr: CsrMatrix) -> CsrMatrix:
+    """Rescale every stored row to sum to 1 (empty rows stay empty)."""
+    sums = column_sums_tcsr(tcsr)
+    scale = np.where(sums > 0, sums, 1.0)
+    values = tcsr.values / scale[stored_row_ids(tcsr)]
+    return CsrMatrix(tcsr.shape, tcsr.indptr, tcsr.indices, values)
+
+
+def inflate_tcsr(tcsr: CsrMatrix, power: float) -> CsrMatrix:
+    """Elementwise power followed by per-stored-row renormalization."""
+    if power <= 0:
+        raise ValueError("inflation power must be positive")
+    raised = CsrMatrix(tcsr.shape, tcsr.indptr, tcsr.indices, np.power(tcsr.values, power))
+    return normalize_tcsr(raised)
+
+
+def prune_keep_mask(
+    tcsr: CsrMatrix, threshold: float = 0.0, top_k: int | None = None
+) -> tuple[np.ndarray, PruneStats]:
+    """Per-stored-row pruning decisions (no rebuild, no renormalization).
+
+    Returns the boolean keep mask over the stored entries plus the
+    :class:`PruneStats` of what the mask discards.  Ranking within a stored
+    row is by descending value with ascending column index as the
+    deterministic tie-break; each row's largest entry always survives.  The
+    decisions for one stored row depend only on that row's entries, so masks
+    computed on disjoint stripes agree bit-for-bit with the whole-matrix
+    mask — the caller (serial or distributed) decides globally whether
+    anything was dropped and renormalizes accordingly.
+    """
+    if top_k is not None and top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    values = tcsr.values
+    nnz = values.size
+    if nnz == 0:
+        return np.ones(0, dtype=bool), PruneStats()
+    col_ids = stored_row_ids(tcsr)
+    # rank entries within each stored row: descending value, ascending index
+    order = np.lexsort((tcsr.indices, -values, col_ids))
+    sorted_cols = col_ids[order]
+    starts = np.flatnonzero(
+        np.concatenate([[True], np.diff(sorted_cols) != 0])
+    )
+    counts = np.diff(np.concatenate([starts, [nnz]]))
+    rank = np.empty(nnz, dtype=np.int64)
+    rank[order] = np.arange(nnz) - np.repeat(starts, counts)
+    keep = (values >= threshold) | (rank == 0)
+    if top_k is not None:
+        keep &= rank < top_k
+    dropped = ~keep
+    if not np.any(dropped):
+        return keep, PruneStats()
+    dropped_mass = np.bincount(
+        col_ids[dropped], weights=values[dropped], minlength=tcsr.shape[0]
+    )
+    stats = PruneStats(
+        pruned_entries=int(dropped.sum()),
+        pruned_mass=float(dropped_mass.sum()),
+        pruned_mass_max=float(dropped_mass.max()),
+    )
+    return keep, stats
+
+
+def apply_keep_mask(tcsr: CsrMatrix, keep: np.ndarray) -> CsrMatrix:
+    """Rebuild a transpose-CSR retaining only the masked entries."""
+    col_ids = stored_row_ids(tcsr)
+    indptr = np.zeros(tcsr.shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(col_ids[keep], minlength=tcsr.shape[0]), out=indptr[1:])
+    return CsrMatrix(tcsr.shape, indptr, tcsr.indices[keep], tcsr.values[keep])
+
+
+def chaos_tcsr(tcsr: CsrMatrix) -> float:
+    """Max over stored rows of ``max − Σ v²`` (0.0 for an empty stripe).
+
+    The global chaos is the exact maximum of the per-stripe values, so the
+    distributed driver combines stripes with a plain ``max``.
+    """
+    if tcsr.nnz == 0:
+        return 0.0
+    col_ids = stored_row_ids(tcsr)
+    values = tcsr.values
+    sq_sums = np.bincount(col_ids, weights=values * values, minlength=tcsr.shape[0])
+    maxes = np.zeros(tcsr.shape[0], dtype=np.float64)
+    np.maximum.at(maxes, col_ids, values)
+    return float(np.max(maxes - sq_sums))
+
 
 class StochasticMatrix:
     """A column-stochastic sparse matrix stored as the CSR of its transpose.
@@ -157,15 +278,11 @@ class StochasticMatrix:
 
     def _column_ids(self) -> np.ndarray:
         """Stored-row (= matrix-column) id of every nonzero."""
-        return np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(self.tcsr.indptr)
-        )
+        return stored_row_ids(self.tcsr)
 
     def column_sums(self) -> np.ndarray:
         """Per-column probability mass (1.0 for a normalized column)."""
-        return np.bincount(
-            self._column_ids(), weights=self.tcsr.values, minlength=self.n
-        )
+        return column_sums_tcsr(self.tcsr)
 
     def same_bits(self, other: "StochasticMatrix") -> bool:
         """Exact structural and bitwise value equality (for determinism tests)."""
@@ -179,15 +296,13 @@ class StochasticMatrix:
     # ------------------------------------------------------------------ MCL operators
     def normalize(self) -> "StochasticMatrix":
         """Rescale every column to sum to 1 (empty columns stay empty)."""
-        sums = self.column_sums()
-        scale = np.where(sums > 0, sums, 1.0)
-        values = self.tcsr.values / scale[self._column_ids()]
-        return StochasticMatrix(
-            CsrMatrix(self.shape, self.tcsr.indptr, self.tcsr.indices, values)
-        )
+        return StochasticMatrix(normalize_tcsr(self.tcsr))
 
     def expand(
-        self, kernel=None, batch_flops: int | None = None
+        self,
+        kernel=None,
+        batch_flops: int | None = None,
+        right: "StochasticMatrix | None" = None,
     ) -> tuple["StochasticMatrix", SpGemmStats]:
         """MCL expansion ``M·M`` through the SpGEMM kernel registry.
 
@@ -196,6 +311,12 @@ class StochasticMatrix:
         product of column-stochastic matrices is column-stochastic up to
         float rounding; the following inflation renormalizes, so no extra
         normalization pass is spent here.
+
+        ``right`` substitutes the logical *left* factor: ``expand(right=G)``
+        computes ``G·M``, which in transpose storage is ``Mᵀ·Gᵀ`` — the
+        stored ``right`` becomes the second operand.  Regularized MCL passes
+        the original transition matrix here so flow is always routed through
+        the actual graph edges rather than the current (pruned) iterate.
         """
         spgemm_kernel = resolve_kernel(kernel)
         kwargs = {}
@@ -207,24 +328,15 @@ class StochasticMatrix:
                 )
             kwargs["batch_flops"] = batch_flops
         t_coo = self.tcsr.to_coo()
+        rt_coo = t_coo if right is None else right.tcsr.to_coo()
         product, stats = spgemm_kernel(
-            t_coo, t_coo, ArithmeticSemiring(), return_stats=True, **kwargs
+            t_coo, rt_coo, ArithmeticSemiring(), return_stats=True, **kwargs
         )
         return StochasticMatrix(CsrMatrix.from_coo(product)), stats
 
     def inflate(self, power: float) -> "StochasticMatrix":
         """MCL inflation: elementwise power, then column renormalization."""
-        if power <= 0:
-            raise ValueError("inflation power must be positive")
-        inflated = StochasticMatrix(
-            CsrMatrix(
-                self.shape,
-                self.tcsr.indptr,
-                self.tcsr.indices,
-                np.power(self.tcsr.values, power),
-            )
-        )
-        return inflated.normalize()
+        return StochasticMatrix(inflate_tcsr(self.tcsr, power))
 
     def prune(
         self, threshold: float = 0.0, top_k: int | None = None
@@ -238,41 +350,10 @@ class StochasticMatrix:
         mass is returned in :class:`PruneStats`; surviving columns are
         renormalized so the matrix stays stochastic.
         """
-        if top_k is not None and top_k < 1:
-            raise ValueError("top_k must be >= 1")
-        values = self.tcsr.values
-        col_ids = self._column_ids()
-        nnz = values.size
-        if nnz == 0:
+        keep, stats = prune_keep_mask(self.tcsr, threshold, top_k)
+        if stats.pruned_entries == 0:
             return self, PruneStats()
-        # rank entries within each column: descending value, ascending index
-        order = np.lexsort((self.tcsr.indices, -values, col_ids))
-        sorted_cols = col_ids[order]
-        starts = np.flatnonzero(
-            np.concatenate([[True], np.diff(sorted_cols) != 0])
-        )
-        counts = np.diff(np.concatenate([starts, [nnz]]))
-        rank = np.empty(nnz, dtype=np.int64)
-        rank[order] = np.arange(nnz) - np.repeat(starts, counts)
-        keep = (values >= threshold) | (rank == 0)
-        if top_k is not None:
-            keep &= rank < top_k
-        dropped = ~keep
-        if not np.any(dropped):
-            return self, PruneStats()
-        dropped_mass = np.bincount(
-            col_ids[dropped], weights=values[dropped], minlength=self.n
-        )
-        stats = PruneStats(
-            pruned_entries=int(dropped.sum()),
-            pruned_mass=float(dropped_mass.sum()),
-            pruned_mass_max=float(dropped_mass.max()),
-        )
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(col_ids[keep], minlength=self.n), out=indptr[1:])
-        pruned = StochasticMatrix(
-            CsrMatrix(self.shape, indptr, self.tcsr.indices[keep], values[keep])
-        )
+        pruned = StochasticMatrix(apply_keep_mask(self.tcsr, keep))
         return pruned.normalize(), stats
 
     # ------------------------------------------------------------------ convergence / clusters
@@ -283,14 +364,7 @@ class StochasticMatrix:
         committed every sequence to one attractor); large while columns are
         still spread over many candidates.
         """
-        if self.nnz == 0:
-            return 0.0
-        col_ids = self._column_ids()
-        values = self.tcsr.values
-        sq_sums = np.bincount(col_ids, weights=values * values, minlength=self.n)
-        maxes = np.zeros(self.n, dtype=np.float64)
-        np.maximum.at(maxes, col_ids, values)
-        return float(np.max(maxes - sq_sums))
+        return chaos_tcsr(self.tcsr)
 
     def attachment_pairs(self, tol: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
         """(column, attractor-row) pairs with probability above ``tol``.

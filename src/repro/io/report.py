@@ -65,6 +65,20 @@ def clustering_table(clustering) -> str:
         f"  Largest cluster               {quality.largest_cluster:,}",
         f"  Singleton clusters            {quality.singleton_clusters:,}",
     ]
+    dist = getattr(clustering, "dist", None)
+    if dist:
+        hidden = dist.get("overlap_hidden_per_rank") or [0.0]
+        lines += [
+            f"  Distributed grid              {dist.get('grid')} "
+            f"({dist.get('nprocs')} ranks"
+            + (", overlapped schedule" if dist.get("overlap") else "")
+            + ")",
+            f"  Cluster comm volume           "
+            f"{int(dist.get('charged_bytes_sent', 0)):,} B sent / "
+            f"{int(dist.get('charged_bytes_received', 0)):,} B received",
+            f"  Overlap hidden (max rank)     {max(hidden):.6f} s",
+            f"  Stage total (modeled)         {dist.get('total_seconds', 0.0):.6f} s",
+        ]
     if clustering.iterations:
         rows = [
             [it.iteration, it.nnz, it.flops, it.compression_factor,

@@ -50,11 +50,23 @@ def payload_nbytes(payload: Any) -> int:
 
 @dataclass
 class CollectiveEngine:
-    """Executes simulated collectives and charges their cost to a ledger."""
+    """Executes simulated collectives and charges their cost to a ledger.
+
+    ``comm_category`` is the ledger time category the operations charge;
+    ``counter_prefix`` namespaces the byte counters (``bytes_sent`` /
+    ``bytes_received``), so a subsystem running on a shared ledger — e.g.
+    the distributed Markov clustering stage, whose traffic must stay
+    separable from the search's — can account its volume under its own
+    counters (``cluster_bytes_sent``, ...) without touching the search's.
+    """
 
     network: NetworkSpec
     ledger: CostLedger
     comm_category: str = "comm"
+    counter_prefix: str = ""
+
+    def _count(self, rank: int, counter: str, amount: float) -> None:
+        self.ledger.count(rank, self.counter_prefix + counter, amount)
 
     # ------------------------------------------------------------------ collectives
     def bcast(self, data: Any, root: int, participants: Sequence[int]) -> dict[int, Any]:
@@ -71,8 +83,8 @@ class CollectiveEngine:
         seconds = self.network.tree_broadcast_seconds(nbytes, len(participants))
         for rank in participants:
             self.ledger.charge(rank, self.comm_category, seconds)
-            self.ledger.count(rank, "bytes_received", 0 if rank == root else nbytes)
-        self.ledger.count(root, "bytes_sent", nbytes * max(len(participants) - 1, 0))
+            self._count(rank, "bytes_received", 0 if rank == root else nbytes)
+        self._count(root, "bytes_sent", nbytes * max(len(participants) - 1, 0))
         return {rank: data for rank in participants}
 
     def allgather(self, per_rank_data: dict[int, Any]) -> dict[int, list[Any]]:
@@ -84,8 +96,8 @@ class CollectiveEngine:
         gathered = [per_rank_data[r] for r in participants]
         for rank, size in zip(participants, sizes):
             self.ledger.charge(rank, self.comm_category, seconds)
-            self.ledger.count(rank, "bytes_sent", size * max(len(participants) - 1, 0))
-            self.ledger.count(rank, "bytes_received", int(np.sum(sizes)) - size)
+            self._count(rank, "bytes_sent", size * max(len(participants) - 1, 0))
+            self._count(rank, "bytes_received", int(np.sum(sizes)) - size)
         return {rank: list(gathered) for rank in participants}
 
     def alltoallv(self, send_matrix: dict[int, dict[int, Any]]) -> dict[int, dict[int, Any]]:
@@ -106,7 +118,7 @@ class CollectiveEngine:
         for rank in participants:
             seconds = self.network.alltoallv_seconds(bytes_sent[rank], len(participants))
             self.ledger.charge(rank, self.comm_category, seconds)
-            self.ledger.count(rank, "bytes_sent", bytes_sent[rank])
+            self._count(rank, "bytes_sent", bytes_sent[rank])
         return recv
 
     def reduce(
@@ -146,8 +158,8 @@ class CollectiveEngine:
         cat = category or self.comm_category
         self.ledger.charge(src, cat, seconds)
         self.ledger.charge(dst, cat, seconds)
-        self.ledger.count(src, "bytes_sent", nbytes)
-        self.ledger.count(dst, "bytes_received", nbytes)
+        self._count(src, "bytes_sent", nbytes)
+        self._count(dst, "bytes_received", nbytes)
         return data
 
     def barrier(self, participants: Sequence[int]) -> None:

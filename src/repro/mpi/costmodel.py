@@ -53,6 +53,37 @@ class TimeBreakdown:
         return cls(float(arr.min()), float(arr.mean()), float(arr.max()))
 
 
+def charge_overlap_slot(
+    ledger: "CostLedger",
+    clock: np.ndarray,
+    foreground: np.ndarray,
+    background: np.ndarray,
+    hidden_category: str,
+) -> None:
+    """Advance a per-rank simulated clock by one overlapped schedule slot.
+
+    The slot co-schedules two stages — e.g. ``align(b)`` against
+    ``discover(b+1)`` in the search engine, or ``prune(b)`` against
+    ``expand(b+1)`` in the distributed Markov clustering — so each rank pays
+    the *slower* of the two, and the seconds hidden behind the slower stage
+    (``min`` of the two) are charged to the informational ``hidden_category``.
+    Both stages' full seconds are assumed already charged to their own
+    categories by the caller, which keeps the ledger reconcilable with the
+    clock: ``foreground + background − hidden == clock`` per rank.
+
+    This is the single slot of the §VI-C overlap algebra, shared by
+    :class:`repro.core.engine.schedulers.OverlappedScheduler` and
+    :class:`repro.graph.dist.DistMarkovClustering` so both schedules satisfy
+    the same reconciliation identity.
+    """
+    foreground = np.asarray(foreground, dtype=np.float64)
+    background = np.asarray(background, dtype=np.float64)
+    clock += np.maximum(foreground, background)
+    hidden = np.minimum(foreground, background)
+    for rank in range(clock.size):
+        ledger.charge(rank, hidden_category, float(hidden[rank]))
+
+
 class CostLedger:
     """Accumulates per-rank, per-category time (simulated or measured seconds)."""
 

@@ -294,3 +294,187 @@ def test_gather_to_root():
     assert merged.nnz == 2
     with pytest.raises(ValueError):
         gather_to_root(pieces[:2], (6, 6), comm)
+
+
+# ---------------------------------------------------------------- deferred merge
+@pytest.mark.parametrize("nprocs", [1, 4, 9])
+@pytest.mark.parametrize("backend", ["expand", "gustavson", "auto"])
+def test_deferred_merge_bit_identical_to_serial_kernel(nprocs, backend):
+    """Deferred-merge SUMMA matches a serial kernel invocation bit for bit.
+
+    The operand values are probabilities (not exactly representable), so the
+    per-stage merge's re-association *would* drift in the last ulp — the
+    deferred local multiply must not.
+    """
+    from repro.sparse.kernels import get_kernel
+
+    rng = np.random.default_rng(42)
+    n = 21
+    a = CooMatrix(
+        (n, n), rng.integers(0, n, 260), rng.integers(0, n, 260),
+        rng.random(260) * 0.1 + 1e-3,
+    ).deduplicate()
+    comm = SimCommunicator(nprocs)
+    dist = DistSparseMatrix.from_global_coo(a, comm)
+    result = summa(
+        dist, dist, ArithmeticSemiring(), spgemm_backend=backend, deferred_merge=True
+    )
+    merged = result.to_global()
+    direct = get_kernel(backend)(a, a, ArithmeticSemiring())
+    assert np.array_equal(merged.rows, direct.rows)
+    assert np.array_equal(merged.cols, direct.cols)
+    assert np.array_equal(merged.values, direct.values)  # bitwise, not allclose
+
+
+def test_deferred_merge_charges_identical_communication():
+    """Deferring the local multiply must not change what the network does."""
+    rng = np.random.default_rng(5)
+    a = CooMatrix(
+        (16, 16), rng.integers(0, 16, 120), rng.integers(0, 16, 120),
+        rng.random(120),
+    ).deduplicate()
+    volumes = {}
+    times = {}
+    for deferred in (False, True):
+        comm = SimCommunicator(9)
+        dist = DistSparseMatrix.from_global_coo(a, comm)
+        summa(dist, dist, ArithmeticSemiring(), deferred_merge=deferred)
+        volumes[deferred] = comm.ledger.counter_total("bytes_sent")
+        times[deferred] = comm.ledger.component_time("comm")
+    assert volumes[True] == volumes[False]
+    assert times[True] == times[False]
+    assert volumes[True] > 0
+
+
+def test_deferred_merge_flops_match_per_stage():
+    rng = np.random.default_rng(6)
+    a = CooMatrix(
+        (12, 12), rng.integers(0, 12, 80), rng.integers(0, 12, 80), rng.random(80)
+    ).deduplicate()
+    comm = SimCommunicator(4)
+    dist = DistSparseMatrix.from_global_coo(a, comm)
+    staged = summa(dist, dist, ArithmeticSemiring())
+    deferred = summa(dist, dist, ArithmeticSemiring(), deferred_merge=True)
+    assert deferred.stats.flops == staged.stats.flops
+    assert deferred.flops_per_rank.sum() == staged.flops_per_rank.sum()
+
+
+def test_summa_custom_collectives_category():
+    """A substitute CollectiveEngine routes comm charges to its own category."""
+    from repro.mpi.collectives import CollectiveEngine
+
+    rng = np.random.default_rng(8)
+    a = CooMatrix(
+        (10, 10), rng.integers(0, 10, 60), rng.integers(0, 10, 60), rng.random(60)
+    ).deduplicate()
+    comm = SimCommunicator(4)
+    engine = CollectiveEngine(
+        network=comm.cluster.network,
+        ledger=comm.ledger,
+        comm_category="cluster_comm",
+        counter_prefix="cluster_",
+    )
+    dist = DistSparseMatrix.from_global_coo(a, comm)
+    result = summa(dist, dist, ArithmeticSemiring(), collectives=engine)
+    assert comm.ledger.component_time("cluster_comm") > 0
+    assert comm.ledger.component_time("comm") == 0
+    assert comm.ledger.counter_total("cluster_bytes_sent") > 0
+    assert comm.ledger.counter_total("bytes_sent") == 0
+    assert result.comm_seconds > 0  # measured against the substitute category
+
+
+# -------------------------------------------------- volume model edge cases
+def test_broadcast_volume_model_1x1_grid():
+    """A 1x1 grid has no partners: the model must stay finite and ordered."""
+    comm = SimCommunicator(1)
+    a = random_coo((10, 10), 40, 11)
+    engine = BlockedSpGemm(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        CountSemiring(),
+        BlockSchedule(10, 10, 2, 3),
+    )
+    model = engine.broadcast_volume_model()
+    assert np.isfinite(list(model.values())).all()
+    assert model["blocked_latency_messages"] == 6 * model["plain_latency_messages"]
+    # and the actual run moves zero bytes (nothing leaves the only rank)
+    for _ in engine.iter_blocks():
+        pass
+    assert comm.ledger.counter_total("bytes_sent") == 0
+
+
+def test_broadcast_volume_model_non_divisible_dims():
+    """Matrix dims not divisible by the grid or the blocking still cover/charge."""
+    comm = SimCommunicator(9)
+    n, k = 17, 23  # neither divisible by grid_dim=3
+    a = random_coo((n, k), 90, 12, dtype=np.int32)
+    engine = BlockedSpGemm(
+        DistSparseMatrix.from_global_coo(a, comm),
+        DistSparseMatrix.from_global_coo(a.transpose(), comm),
+        CountSemiring(),
+        BlockSchedule(n, n, 4, 3),  # 17 rows into 4 blocks: uneven chunks
+    )
+    direct = spgemm(a, a.transpose(), CountSemiring())
+    pieces = [blk.result.to_global(CountSemiring()) for blk in engine.iter_blocks()]
+    rows = np.concatenate([p.rows for p in pieces])
+    cols = np.concatenate([p.cols for p in pieces])
+    vals = np.concatenate([p.values for p in pieces])
+    assert CooMatrix((n, n), rows, cols, vals, check=False).deduplicate(
+        CountSemiring()
+    ) == direct
+    model = engine.broadcast_volume_model()
+    assert model["blocked_bandwidth_bytes"] > 0
+
+
+def test_broadcast_volume_model_consistent_with_ledger_charges():
+    """The charged byte counters follow the same (dim-1)-per-broadcast law the
+    closed-form model is built from: every block broadcast moves
+    bytes * (grid_dim - 1), summed over the stripes actually broadcast."""
+    comm = SimCommunicator(4)
+    grid = comm.require_grid()
+    n, k = 12, 30
+    a = random_coo((n, k), 80, 13, dtype=np.int32)
+    a_dist = DistSparseMatrix.from_global_coo(a, comm)
+    at_dist = DistSparseMatrix.from_global_coo(a.transpose(), comm)
+    schedule = BlockSchedule(n, n, 2, 2)
+    engine = BlockedSpGemm(a_dist, at_dist, CountSemiring(), schedule)
+    for _ in engine.iter_blocks():
+        pass
+    expected = 0
+    dim = grid.grid_dim
+    for br_idx in range(schedule.br):
+        stripe = a_dist.row_stripe(schedule.row_range(br_idx))
+        for bc_idx in range(schedule.bc):
+            cstripe = at_dist.col_stripe(schedule.col_range(bc_idx))
+            for kk in range(dim):
+                for i in range(dim):
+                    expected += stripe.grid_block(i, kk)[0].memory_bytes() * (dim - 1)
+                for j in range(dim):
+                    expected += cstripe.grid_block(kk, j)[0].memory_bytes() * (dim - 1)
+    assert comm.ledger.counter_total("bytes_sent") == expected
+    assert comm.ledger.counter_total("bytes_received") == expected
+
+
+# -------------------------------------------------- process grid edge cases
+def test_process_grid_1x1_edges():
+    from repro.mpi.process_grid import ProcessGrid
+
+    grid = ProcessGrid(1)
+    assert grid.nprocs == 1
+    assert grid.row_group(0) == [0] and grid.col_group(0) == [0]
+    assert grid.block_bounds(7, 0) == (0, 7)
+    assert grid.owner_of(5, 5, 4, 4) == 0
+
+
+def test_process_grid_more_ranks_than_rows():
+    """n < grid_dim: trailing chunks are empty but everything stays valid."""
+    from repro.mpi.process_grid import ProcessGrid
+
+    grid = ProcessGrid(3)
+    bounds = [grid.block_bounds(2, i) for i in range(3)]
+    assert bounds == [(0, 1), (1, 2), (2, 2)]
+    assert sum(hi - lo for lo, hi in bounds) == 2
+    comm = SimCommunicator(9)
+    dist = DistSparseMatrix.from_global_coo(random_coo((2, 2), 3, 14), comm)
+    assert dist.nnz_per_rank().sum() == dist.nnz
+    assert dist.local(8).shape == (0, 0)

@@ -1,0 +1,358 @@
+"""Tests for repro.graph.dist — distributed Markov clustering on the 2D grid.
+
+Acceptance criteria of the subsystem:
+
+* distributed MCL labels *and* the final matrix are bit-identical to
+  single-rank :class:`~repro.graph.mcl.MarkovClustering` across grid sizes
+  {1, 4, 9} and every registered SpGEMM backend (including ``"scipy"``
+  when present), with and without the overlapped schedule;
+* the per-rank ledger reconciles with the simulated clock:
+  ``cluster_expand + cluster_prune − cluster_overlap_hidden == combined``;
+* the ``cluster_comm`` byte counters match the closed-form broadcast
+  volume model to the bit;
+* the stage is wired end to end: ``ClusterParams.nprocs/overlap`` →
+  pipeline cluster stage → ``SearchResult.clustering`` + per-rank comm
+  stats in ``stats.extras`` + report rendering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.align_phase import EDGE_DTYPE
+from repro.core.params import PastisParams
+from repro.core.pipeline import PastisPipeline
+from repro.core.similarity_graph import SimilarityGraph
+from repro.graph import (
+    CLUSTER_COMM_CATEGORY,
+    CLUSTER_EXPAND_CATEGORY,
+    CLUSTER_OVERLAP_HIDDEN_CATEGORY,
+    CLUSTER_PRUNE_CATEGORY,
+    ClusterParams,
+    DistMarkovClustering,
+    DistStochasticMatrix,
+    MarkovClustering,
+    StochasticMatrix,
+    cluster_similarity_graph,
+    expansion_broadcast_bytes,
+)
+from repro.graph.dist import CLUSTER_COUNTER_PREFIX
+from repro.io.report import clustering_report, clustering_table
+from repro.mpi.communicator import SimCommunicator
+from repro.sequences.synthetic import synthetic_dataset
+from repro.sparse.kernels import available_kernels
+
+#: Every registered backend participates ("scipy" exactly when importable).
+MCL_BACKENDS = [k for k in ("expand", "gustavson", "auto", "scipy") if k in available_kernels()]
+GRID_SIZES = [1, 4, 9]
+
+
+def make_edges(pairs, ani=0.8, coverage=0.9, score=50):
+    edges = np.zeros(len(pairs), dtype=EDGE_DTYPE)
+    for idx, (i, j) in enumerate(pairs):
+        edges[idx]["row"] = i
+        edges[idx]["col"] = j
+        edges[idx]["ani"] = ani
+        edges[idx]["coverage"] = coverage
+        edges[idx]["score"] = score
+    return edges
+
+
+def random_graph(seed, n=36, m=60):
+    rng = np.random.default_rng(seed)
+    edges = make_edges(
+        [(int(a), int(b)) for a, b in rng.integers(0, n, size=(m, 2))], ani=0.55
+    )
+    return SimilarityGraph.from_edges(edges, n)
+
+
+def bridged_cliques(size=5):
+    """Two cliques joined by one bridge edge — the over-merge fixture."""
+    pairs = [
+        (a, b)
+        for group in (range(size), range(size, 2 * size))
+        for i, a in enumerate(group)
+        for b in list(group)[i + 1:]
+    ] + [(size - 1, size)]
+    return SimilarityGraph.from_edges(make_edges(pairs), 2 * size)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return StochasticMatrix.from_similarity_graph(random_graph(7))
+
+
+@pytest.fixture(scope="module")
+def serial_result(matrix):
+    return MarkovClustering(spgemm_backend="expand").fit(matrix)
+
+
+# ---------------------------------------------------------------- bit-identity
+@pytest.mark.parametrize("nprocs", GRID_SIZES)
+@pytest.mark.parametrize("backend", MCL_BACKENDS)
+def test_dist_mcl_bit_identical_to_serial(matrix, serial_result, nprocs, backend):
+    """Labels and final matrix match single-rank MCL bit for bit."""
+    dist = DistMarkovClustering(nprocs=nprocs, spgemm_backend=backend).fit(matrix)
+    assert np.array_equal(dist.labels, serial_result.labels)
+    assert dist.final_matrix.same_bits(serial_result.final_matrix)
+    assert dist.converged == serial_result.converged
+    assert dist.n_iterations == serial_result.n_iterations
+
+
+@pytest.mark.parametrize("nprocs", [4, 9])
+def test_overlapped_schedule_does_not_change_results(matrix, serial_result, nprocs):
+    dist = DistMarkovClustering(nprocs=nprocs, overlap=True).fit(matrix)
+    assert np.array_equal(dist.labels, serial_result.labels)
+    assert dist.final_matrix.same_bits(serial_result.final_matrix)
+
+
+def test_dist_mcl_top_k_and_inflation_parity():
+    """Bit-identity holds for non-default knobs too (top-k pruning, inflation)."""
+    matrix = StochasticMatrix.from_similarity_graph(bridged_cliques())
+    serial = MarkovClustering(inflation=1.6, top_k=4, prune_threshold=1e-3).fit(matrix)
+    dist = DistMarkovClustering(
+        nprocs=4, inflation=1.6, top_k=4, prune_threshold=1e-3, overlap=True
+    ).fit(matrix)
+    assert np.array_equal(dist.labels, serial.labels)
+    assert dist.final_matrix.same_bits(serial.final_matrix)
+
+
+def test_regularized_parity_and_effect(matrix):
+    """Regularized MCL: serial and distributed agree; expansion flops differ
+    from plain MCL (the right operand stays the original, sparser matrix)."""
+    serial = MarkovClustering(regularized=True).fit(matrix)
+    dist = DistMarkovClustering(nprocs=4, regularized=True, overlap=True).fit(matrix)
+    assert np.array_equal(dist.labels, serial.labels)
+    assert dist.final_matrix.same_bits(serial.final_matrix)
+    plain = MarkovClustering().fit(matrix)
+    assert serial.total_flops != plain.total_flops
+    # a partition is still produced and is valid
+    assert serial.labels.size == matrix.n
+    assert serial.labels.min() == 0
+
+
+# ---------------------------------------------------------------- ledger identities
+@pytest.mark.parametrize("overlap", [False, True])
+def test_cluster_ledger_reconciles_with_clock(matrix, overlap):
+    """cluster_expand + cluster_prune − cluster_overlap_hidden == clock."""
+    dist = DistMarkovClustering(nprocs=9, overlap=overlap).fit(matrix)
+    ledger = dist.ledger
+    reconstructed = (
+        ledger.per_rank(CLUSTER_EXPAND_CATEGORY)
+        + ledger.per_rank(CLUSTER_PRUNE_CATEGORY)
+        - ledger.per_rank(CLUSTER_OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(reconstructed, dist.clock_per_rank, rtol=1e-12)
+    hidden = ledger.per_rank(CLUSTER_OVERLAP_HIDDEN_CATEGORY)
+    if overlap:
+        assert hidden.sum() > 0.0  # something was actually hidden
+        # the overlapped clock beats the serial sum by exactly the hidden time
+        assert dist.clock_per_rank.max() < (
+            ledger.per_rank(CLUSTER_EXPAND_CATEGORY)
+            + ledger.per_rank(CLUSTER_PRUNE_CATEGORY)
+        ).max()
+    else:
+        assert hidden.sum() == 0.0
+
+
+@pytest.mark.parametrize("nprocs", GRID_SIZES)
+def test_charged_volume_matches_closed_form_model(matrix, nprocs):
+    """cluster_bytes_* counters equal the closed-form prediction to the bit."""
+    dist = DistMarkovClustering(nprocs=nprocs, overlap=True).fit(matrix)
+    assert dist.volume["charged_bytes_sent"] == dist.volume["predicted_bytes_sent"]
+    assert dist.volume["charged_bytes_received"] == dist.volume["predicted_bytes_received"]
+    if nprocs == 1:
+        assert dist.volume["charged_bytes_sent"] == 0  # nothing leaves the rank
+    else:
+        assert dist.volume["charged_bytes_sent"] > 0
+        assert dist.ledger.component_time(CLUSTER_COMM_CATEGORY) > 0.0
+
+
+def test_expansion_broadcast_closed_form_standalone(matrix):
+    """The expansion broadcasts alone charge exactly the §VI-A closed form.
+
+    Drives the blocked deferred-merge expansion directly (the same schedule
+    the driver uses: blocks_per_grid_row sub-blocks per grid row) through a
+    cluster CollectiveEngine, with no row-op collectives in the ledger, so
+    the byte counters isolate the expansion term that
+    :func:`expansion_broadcast_bytes` models.
+    """
+    from repro.graph.dist import CLUSTER_COMM_CATEGORY as COMM_CAT
+    from repro.graph.dist import _balanced_chunks
+    from repro.mpi.collectives import CollectiveEngine
+    from repro.distsparse.summa import summa
+    from repro.sparse.semiring import ArithmeticSemiring
+
+    comm = SimCommunicator(4)
+    grid = comm.require_grid()
+    engine = CollectiveEngine(
+        network=comm.cluster.network,
+        ledger=comm.ledger,
+        comm_category=COMM_CAT,
+        counter_prefix=CLUSTER_COUNTER_PREFIX,
+    )
+    dist_matrix = DistStochasticMatrix.from_matrix(matrix, comm)
+    a_dist = dist_matrix.to_dist_sparse()
+    blocks = [
+        chunk
+        for r in range(grid.grid_dim)
+        for chunk in _balanced_chunks(*grid.block_bounds(matrix.n, r), 2)
+    ]
+    for lo, hi in blocks:
+        summa(
+            a_dist.row_stripe((lo, hi)),
+            a_dist,
+            ArithmeticSemiring(),
+            output_shape=dist_matrix.shape,
+            deferred_merge=True,
+            collectives=engine,
+        )
+    t_bytes = dist_matrix.triplet_bytes()
+    expected = expansion_broadcast_bytes(
+        grid.grid_dim, t_bytes, t_bytes, n_blocks=len(blocks)
+    )
+    assert expected > 0
+    assert comm.ledger.counter_total(CLUSTER_COUNTER_PREFIX + "bytes_sent") == expected
+    assert (
+        comm.ledger.counter_total(CLUSTER_COUNTER_PREFIX + "bytes_received") == expected
+    )
+
+
+def test_measured_expand_seconds_kept_out_of_identity(matrix):
+    """The wall-clock SUMMA seconds live in their own excluded category."""
+    dist = DistMarkovClustering(nprocs=4).fit(matrix)
+    assert dist.ledger.component_time("cluster_expand_measured") > 0.0
+    # the identity categories are modeled, not measured
+    assert dist.ledger.component_time(CLUSTER_EXPAND_CATEGORY) > 0.0
+
+
+# ---------------------------------------------------------------- DistStochasticMatrix
+def test_dist_matrix_round_trip_and_accounting(matrix):
+    comm = SimCommunicator(9)
+    dist = DistStochasticMatrix.from_matrix(matrix, comm)
+    assert dist.nnz == matrix.nnz
+    assert dist.to_matrix().same_bits(matrix)
+    assert int(dist.nnz_per_rank().sum()) == matrix.nnz
+    assert dist.triplet_bytes() == matrix.nnz * 24
+    sparse = dist.to_dist_sparse()
+    assert sparse.nnz == matrix.nnz
+    # the COO blocks reassemble to the stored transpose exactly
+    global_coo = sparse.to_global_coo()
+    tcsr_coo = matrix.tcsr.to_coo().sort_rowmajor()
+    assert np.array_equal(global_coo.rows, tcsr_coo.rows)
+    assert np.array_equal(global_coo.cols, tcsr_coo.cols)
+    assert np.array_equal(global_coo.values, tcsr_coo.values)
+
+
+def test_grid_larger_than_matrix_rejected():
+    tiny = StochasticMatrix.from_similarity_graph(bridged_cliques(1))  # n = 2
+    with pytest.raises(ValueError, match="grid dimension"):
+        DistMarkovClustering(nprocs=9).fit(tiny)
+
+
+def test_non_square_nprocs_rejected():
+    with pytest.raises(ValueError, match="perfect square"):
+        DistMarkovClustering(nprocs=6)
+
+
+# ---------------------------------------------------------------- wiring
+def test_cluster_params_validation():
+    with pytest.raises(ValueError, match="perfect square"):
+        ClusterParams(nprocs=3)
+    with pytest.raises(ValueError, match="method 'mcl'"):
+        ClusterParams(method="components", nprocs=4)
+    params = ClusterParams(nprocs=4, overlap=True, regularized=True)
+    assert params.nprocs == 4
+
+
+def test_cluster_similarity_graph_dist_route(matrix):
+    graph = random_graph(7)
+    serial = cluster_similarity_graph(graph, ClusterParams())
+    dist = cluster_similarity_graph(graph, ClusterParams(nprocs=4, overlap=True))
+    assert np.array_equal(serial.labels, dist.labels)
+    assert dist.nprocs == 4
+    assert dist.dist is not None
+    assert dist.dist["grid"] == "2x2"
+    assert dist.dist["charged_bytes_sent"] == dist.dist["predicted_bytes_sent"]
+    assert len(dist.dist["expand_seconds_per_rank"]) == 4
+    summary = dist.summary()
+    assert summary["nprocs"] == 4
+    assert "dist" in summary
+
+
+def test_pipeline_dist_cluster_stage_end_to_end():
+    seqs = synthetic_dataset(n_sequences=50, seed=23)
+    base = dict(kmer_length=5, common_kmer_threshold=1, nodes=4, num_blocks=4)
+    serial = PastisPipeline(
+        PastisParams(**base, cluster=ClusterParams(enabled=True, nprocs=1))
+    ).run(seqs)
+    dist = PastisPipeline(
+        PastisParams(**base, cluster=ClusterParams(enabled=True, nprocs=4, overlap=True))
+    ).run(seqs)
+    assert np.array_equal(serial.clustering.labels, dist.clustering.labels)
+    extras = dist.stats.extras["clustering"]
+    assert extras["dist"]["nprocs"] == 4
+    assert len(extras["dist"]["comm_seconds_per_rank"]) == 4
+    assert extras["dist"]["charged_bytes_sent"] == extras["dist"]["predicted_bytes_sent"]
+    # the cluster stage charges its own category on the search ledger and
+    # stays out of the search totals
+    assert dist.ledger.component_time("cluster") > 0.0
+    assert dist.stats.time_total > 0.0
+
+
+def test_report_renders_dist_stats(matrix):
+    graph = random_graph(7)
+    clustering = cluster_similarity_graph(graph, ClusterParams(nprocs=4, overlap=True))
+    table = clustering_table(clustering)
+    assert "Distributed grid" in table
+    assert "2x2" in table
+    assert "Cluster comm volume" in table
+    report = clustering_report(clustering)
+    assert report["dist"]["nprocs"] == 4
+    assert report["iterations"][0]["flops_per_rank"]
+
+
+def test_counter_prefix_keeps_search_counters_clean(matrix):
+    """Cluster traffic must not leak into the search's bytes_sent counters."""
+    dist = DistMarkovClustering(nprocs=4).fit(matrix)
+    ledger = dist.ledger
+    assert ledger.counter_total(CLUSTER_COUNTER_PREFIX + "bytes_sent") > 0
+    assert ledger.counter_total("bytes_sent") == 0
+
+
+def test_pipeline_measured_clock_charges_wall_seconds_for_dist_cluster():
+    """clock="measured" must charge wall time for the cluster stage even when
+    the distributed driver (which models its own grid) produced it."""
+    seqs = synthetic_dataset(n_sequences=40, seed=31)
+    result = PastisPipeline(
+        PastisParams(
+            kmer_length=5, common_kmer_threshold=1, nodes=4, num_blocks=4,
+            clock="measured",
+            cluster=ClusterParams(enabled=True, nprocs=4, overlap=True),
+        )
+    ).run(seqs)
+    cluster_seconds = result.ledger.component_time("cluster")
+    assert 0.0 < cluster_seconds < result.stats.wall_seconds
+
+
+def test_reused_communicator_reports_per_run_deltas(matrix):
+    """fit(matrix, comm) on a communicator that already carries cluster
+    charges must still report this run's volume/identity, not the total."""
+    mcl = DistMarkovClustering(nprocs=4, overlap=True)
+    comm = SimCommunicator(4)
+    first = mcl.fit(matrix, comm)
+    second = mcl.fit(matrix, comm)
+    # deterministic algorithm on the same matrix: identical per-run stats
+    assert second.volume == first.volume
+    assert second.volume["charged_bytes_sent"] == second.volume["predicted_bytes_sent"]
+    stats = second.comm_stats()
+    np.testing.assert_allclose(
+        np.asarray(stats["expand_seconds_per_rank"])
+        + np.asarray(stats["prune_seconds_per_rank"])
+        - np.asarray(stats["overlap_hidden_per_rank"]),
+        second.clock_per_rank,
+        rtol=1e-12,
+    )
+    # the shared ledger itself holds both runs
+    assert comm.ledger.counter_total(CLUSTER_COUNTER_PREFIX + "bytes_sent") == (
+        first.volume["charged_bytes_sent"] + second.volume["charged_bytes_sent"]
+    )

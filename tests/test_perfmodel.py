@@ -153,3 +153,47 @@ def test_calibration_from_pipeline_run(pipeline_result):
     # a calibrated profile can drive the scaling model end to end
     series = strong_scaling_series(profile, [49, 100], AnalyticModel())
     assert series[-1].times.total > 0
+
+
+# ---------------------------------------------------------------- cluster stage
+def test_cluster_strong_scaling_series():
+    from repro.perfmodel.scaling import cluster_strong_scaling_series
+
+    points = cluster_strong_scaling_series(
+        expand_flops=1e12,
+        iterate_bytes=1e9,
+        n_iterations=15,
+        node_counts=[1, 4, 16, 64],
+        overlap=False,
+    )
+    assert [p.nodes for p in points] == [1, 4, 16, 64]
+    # compute components strong-scale perfectly in the model ...
+    expands = [p.expand_seconds for p in points]
+    assert all(a > b for a, b in zip(expands, expands[1:]))
+    assert points[0].efficiency_total == pytest.approx(1.0)
+    # ... while the blocked-SUMMA broadcast term grows with the node count
+    assert points[-1].comm_seconds > points[0].comm_seconds
+    as_dict = points[-1].as_dict()
+    assert set(as_dict) >= {"nodes", "expand_seconds", "comm_seconds", "total_seconds"}
+
+
+def test_cluster_scaling_overlap_hides_smaller_component():
+    from repro.perfmodel.scaling import cluster_strong_scaling_series
+
+    kwargs = dict(
+        expand_flops=1e12, iterate_bytes=1e9, n_iterations=15, node_counts=[4, 16]
+    )
+    plain = cluster_strong_scaling_series(overlap=False, **kwargs)
+    overlapped = cluster_strong_scaling_series(overlap=True, **kwargs)
+    for p, o in zip(plain, overlapped):
+        assert o.total_seconds < p.total_seconds
+        assert o.total_seconds == pytest.approx(
+            max(o.expand_seconds, o.prune_seconds) + o.comm_seconds
+        )
+
+
+def test_cluster_scaling_rejects_non_square_nodes():
+    from repro.perfmodel.scaling import cluster_strong_scaling_series
+
+    with pytest.raises(ValueError, match="perfect square"):
+        cluster_strong_scaling_series(1e9, 1e6, 10, [1, 2])
