@@ -19,6 +19,12 @@ calibration curve did not yet exist.  This bench produces it:
 Writes ``benchmarks/results/BENCH_auto_threshold.json``: per-case predicted
 and exact compression factors, per-kernel seconds, the empirical crossover,
 and the per-threshold totals — the numbers to set the default from.
+
+``--write-default`` closes the loop: the measured best crossover is
+persisted via :func:`repro.config.write_calibration`, after which
+:data:`repro.config.DEFAULTS` (and therefore every
+``PastisParams.auto_compression_threshold``) uses the measured value
+instead of the shipped registry constant.
 """
 
 from __future__ import annotations
@@ -43,10 +49,11 @@ from conftest import save_results
 #: nnz (smaller k -> more collisions -> higher cf).
 INNER_DIMS = (20, 60, 200, 800, 3000, 12000)
 CASE = dict(n=300, nnz=5000, seed=13)
-#: 1e30 is the "never dispatch to Gustavson" sentinel (finite so the JSON
-#: artifact stays strictly parseable — float("inf") would serialize as the
+#: The "never dispatch to Gustavson" sentinel (finite so the JSON artifact
+#: stays strictly parseable — float("inf") would serialize as the
 #: non-standard token Infinity).
-THRESHOLDS = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 1e30)
+NEVER_GUSTAVSON_SENTINEL = 1e30
+THRESHOLDS = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 10.0, NEVER_GUSTAVSON_SENTINEL)
 
 
 def _operand(n: int, k: int, nnz: int, seed: int) -> tuple[CooMatrix, CooMatrix]:
@@ -162,6 +169,39 @@ def test_auto_threshold_calibration(benchmark):
     assert max(cfs) > 2.0 > min(cfs)
 
 
+def calibration_value(out: dict) -> float:
+    """The threshold a sweep feeds back into :data:`repro.config.DEFAULTS`.
+
+    The best sweep threshold, unless that is the "never dispatch to
+    Gustavson" sentinel — a sweep winner, not a usable default crossover —
+    in which case the empirical crossover (or, failing that, the shipped
+    registry default) is written instead.
+    """
+    best = float(out["best_threshold"])
+    if best < NEVER_GUSTAVSON_SENTINEL:
+        return best
+    if out["empirical_crossover_cf"] is not None:
+        return float(out["empirical_crossover_cf"])
+    return float(out["default_threshold"])
+
+
+def _write_default(out: dict) -> None:
+    """Close the ROADMAP loop: persist the measured best crossover.
+
+    The value lands in ``repro/config.py``'s calibration file, from which
+    :data:`repro.config.DEFAULTS` (and therefore
+    ``PastisParams.auto_compression_threshold``) picks it up on the next
+    import — see :func:`repro.config.write_calibration`.
+    """
+    from repro.config import load_calibration, write_calibration
+
+    value = calibration_value(out)
+    path = write_calibration({"auto_compression_threshold": value})
+    readback = load_calibration(path)
+    assert readback["auto_compression_threshold"] == value, "calibration did not round-trip"
+    print(f"wrote auto_compression_threshold={value} to {path}")
+
+
 def _smoke() -> None:
     """Standalone sweep (reduced repeats) — runnable without pytest."""
     out = run_threshold_sweep(repeats=1)
@@ -170,6 +210,7 @@ def _smoke() -> None:
     cfs = [c["predicted_cf"] for c in out["cases"]]
     assert max(cfs) > 2.0 > min(cfs), "cases no longer span the dispatch crossover"
     assert out["thresholds"], "threshold sweep produced no rows"
+    assert calibration_value(out) > 0
     print("smoke OK: crossover curve measured; outputs bit-identical across kernels")
 
 
@@ -178,6 +219,11 @@ if __name__ == "__main__":
 
     if "--smoke" in sys.argv:
         _smoke()
+    elif "--write-default" in sys.argv:
+        out = run_threshold_sweep(repeats=3)
+        _print_report(out)
+        save_results("BENCH_auto_threshold", out)
+        _write_default(out)
     else:
-        sys.exit("usage: python benchmarks/bench_auto_threshold.py --smoke "
+        sys.exit("usage: python benchmarks/bench_auto_threshold.py --smoke | --write-default "
                  "(full benchmarks run via: pytest benchmarks/ --benchmark-only)")

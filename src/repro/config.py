@@ -9,9 +9,13 @@ evaluation.  Individual runs override them through
 
 from __future__ import annotations
 
+import json
+import os
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from .sparse.kernels import DEFAULT_OVERLAP_KERNEL
+from .sparse.kernels import AUTO_COMPRESSION_THRESHOLD, DEFAULT_OVERLAP_KERNEL
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,15 @@ class ReproConfig:
         get :data:`repro.sparse.kernels.DEFAULT_KERNEL` (``"expand"``).
         This value seeds ``PastisParams.spgemm_backend``, which individual
         runs override.
+    auto_compression_threshold:
+        Predicted-compression-factor crossover of the ``"auto"`` SpGEMM
+        backend's dispatch.  The shipped default is the registry constant
+        :data:`repro.sparse.kernels.AUTO_COMPRESSION_THRESHOLD`; a
+        *measured* value can be fed back by
+        ``benchmarks/bench_auto_threshold.py --write-default``, which
+        persists the best sweep crossover via :func:`write_calibration` so
+        the singleton (and therefore ``PastisParams``) picks it up on the
+        next import.
     seed:
         Default RNG seed used by synthetic data generators.
     """
@@ -61,8 +74,95 @@ class ReproConfig:
     coverage_threshold: float = 0.70
     default_blocking: tuple[int, int] = field(default=(8, 8))
     spgemm_backend: str = DEFAULT_OVERLAP_KERNEL
+    auto_compression_threshold: float = AUTO_COMPRESSION_THRESHOLD
     seed: int = 0
 
 
-#: Module-level singleton with the paper's default parameters.
-DEFAULTS = ReproConfig()
+#: Fields a measured calibration may override, with their validators.
+CALIBRATABLE_FIELDS: dict[str, object] = {
+    "auto_compression_threshold": lambda v: (
+        isinstance(v, (int, float)) and not isinstance(v, bool) and v > 0
+    ),
+}
+
+#: Default location of the persisted calibration (next to this module, so a
+#: written calibration survives as part of the installed package).
+CALIBRATION_PATH = Path(__file__).with_name("calibration.json")
+
+
+def _validate_calibration(values: dict) -> None:
+    """Shared field/value validation for reads and writes (one rule set, so a
+    value that writes always loads and vice versa)."""
+    for key, value in values.items():
+        validator = CALIBRATABLE_FIELDS.get(key)
+        if validator is None:
+            raise ValueError(
+                f"unknown calibration field {key!r}; "
+                f"calibratable: {sorted(CALIBRATABLE_FIELDS)}"
+            )
+        if not validator(value):
+            raise ValueError(f"calibration field {key!r} has invalid value {value!r}")
+
+
+def load_calibration(path: str | Path | None = None) -> dict:
+    """Read persisted calibration overrides ({} when none has been written).
+
+    Raises ``ValueError`` for unknown fields, out-of-range values or
+    unparseable JSON, so a corrupted calibration file fails loudly instead
+    of silently steering every subsequent run.
+    """
+    p = CALIBRATION_PATH if path is None else Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text())  # JSONDecodeError is a ValueError
+    if not isinstance(data, dict):
+        raise ValueError(f"calibration file {p} must hold a JSON object")
+    _validate_calibration(data)
+    return {key: float(value) for key, value in data.items()}
+
+
+def write_calibration(values: dict, path: str | Path | None = None) -> Path:
+    """Persist measured calibration overrides; returns the written path.
+
+    ``values`` must only contain :data:`CALIBRATABLE_FIELDS`; the write is
+    validated through the same rules :func:`load_calibration` applies, so a
+    written calibration always round-trips.  The write is atomic (temp file
+    + rename), so a killed benchmark can never leave a truncated file
+    behind.
+    """
+    _validate_calibration(values)
+    p = CALIBRATION_PATH if path is None else Path(path)
+    payload = json.dumps({k: float(v) for k, v in values.items()}, indent=2) + "\n"
+    tmp = p.with_name(p.name + ".tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, p)
+    return p
+
+
+def calibrated_defaults(path: str | Path | None = None) -> ReproConfig:
+    """Build the package defaults with any persisted calibration applied."""
+    return ReproConfig(**load_calibration(path))
+
+
+def _import_time_defaults() -> ReproConfig:
+    """The singleton's construction: never let a bad calibration file make
+    the package unimportable (that would also brick the tool that could
+    rewrite it) — warn loudly and fall back to the shipped defaults."""
+    try:
+        return calibrated_defaults()
+    except (ValueError, OSError) as exc:
+        warnings.warn(
+            f"ignoring unreadable calibration {CALIBRATION_PATH}: {exc}; "
+            "using shipped defaults (rewrite it with "
+            "`python benchmarks/bench_auto_threshold.py --write-default` "
+            "or delete the file)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ReproConfig()
+
+
+#: Module-level singleton with the paper's default parameters, overlaid with
+#: any measured calibration previously written by
+#: ``bench_auto_threshold.py --write-default``.
+DEFAULTS = _import_time_defaults()

@@ -11,24 +11,41 @@ stages, executed by pluggable schedulers:
 * :mod:`repro.core.engine.accumulator` — the streaming
   :class:`StreamingGraphAccumulator` that consumes each block's edges the
   moment they are produced, so peak memory is bounded by the *live* blocks
-  (one for the serial schedule, two under pre-blocking) instead of the sum
-  of all block outputs;
+  (one for the serial schedule, two under depth-1 pre-blocking, ``k + 1``
+  under speculative depth ``k``); with ``max_live_blocks`` set it is also
+  the admission gate that enforces that bound on a concurrent schedule;
 * :mod:`repro.core.engine.timeline` — the per-block scheduled timings from
   which the Table-I :class:`~repro.core.preblocking.PreblockingReport` is
   *derived* (it is no longer computed post hoc by
   ``PreblockingModel.evaluate`` inside the pipeline);
-* :mod:`repro.core.engine.schedulers` — the scheduler contract and its two
-  implementations: :class:`SerialScheduler` (bulk-synchronous, bit-identical
-  to the historical monolithic loop) and :class:`OverlappedScheduler`
-  (§VI-C pre-blocking: ``discover(b+1)`` is interleaved with ``align(b)`` on
-  the simulated clock, with the paper's contention slowdowns charged as the
-  schedule is executed).
+* :mod:`repro.core.engine.schedulers` — the scheduler contract and the two
+  single-threaded implementations: :class:`SerialScheduler`
+  (bulk-synchronous, bit-identical to the historical monolithic loop) and
+  :class:`OverlappedScheduler` (§VI-C pre-blocking *simulated*:
+  ``discover(b+1)`` is interleaved with ``align(b)`` on the modeled clock,
+  with the paper's contention slowdowns charged as the schedule is
+  executed);
+* :mod:`repro.core.engine.executor` — :class:`ThreadedScheduler`, the
+  *measured-clock executor* of §VI-C: where the paper overlaps the next
+  block's CPU-side SpGEMM with the current block's GPU alignment, the
+  executor runs ``discover(b+1..b+k)`` on a bounded worker pool genuinely
+  concurrent with the main thread's ``align(b)``, generalizing pre-blocking
+  to speculative depth ``k`` (``PastisParams.preblock_depth``).  Discovers
+  execute in block order through a determinism turnstile, so records, edges
+  and ledger categories stay bit-identical to :class:`SerialScheduler` for
+  every depth and thread count; memory is bounded to ``k + 1`` live blocks
+  by the accumulator's admission gate; and the per-rank clock is derived
+  through the shared depth-``k`` overlap algebra
+  (:class:`repro.mpi.costmodel.OverlapWindow`), so
+  ``align + spgemm − overlap_hidden == combined clock`` holds for measured
+  wall seconds exactly as it does for modeled ones.
 
 Schedulers — not the pipeline — own execution order and ledger charging;
 the pipeline builds the task list and hands it over.
 """
 
 from .accumulator import StreamingGraphAccumulator
+from .executor import ThreadedScheduler
 from .schedulers import (
     OverlappedScheduler,
     ScheduleOutcome,
@@ -50,5 +67,6 @@ __all__ = [
     "StageContext",
     "StageTimeline",
     "StreamingGraphAccumulator",
+    "ThreadedScheduler",
     "make_scheduler",
 ]

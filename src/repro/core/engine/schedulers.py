@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...metrics.timers import Timer
 from ...mpi.costmodel import charge_overlap_slot
 from ..align_phase import BlockAlignmentOutput
 from ..preblocking import PreblockingModel
@@ -55,6 +56,7 @@ class ScheduleOutcome:
     timeline: StageTimeline
     kernel_seconds: float = 0.0
     measured_align_seconds: float = 0.0
+    measured_discover_seconds: float = 0.0
 
     @property
     def candidates_discovered(self) -> int:
@@ -90,6 +92,47 @@ def _charge_alignment(
         ledger.count(rank, "alignment_cells", float(output.cells_per_rank[rank]))
 
 
+def _run_foreground_stages(
+    task: BlockTask,
+    ctx: StageContext,
+    timeline: StageTimeline,
+    align_mult: float = 1.0,
+    sparse_scheduled: np.ndarray | None = None,
+):
+    """The foreground half of one block, shared by every scheduler:
+    prune -> align -> charge alignment -> accumulate -> record the timing.
+
+    ``align_mult`` inflates the charged/scheduled alignment seconds (the
+    overlapped scheduler's contention); ``sparse_scheduled`` overrides the
+    timing's as-scheduled sparse seconds (raw when ``None``).  Returns
+    ``(record, output, align_scheduled)``.
+    """
+    task.prune(ctx)
+    output = task.align(ctx)
+    _charge_alignment(ctx, output, align_mult)
+    align_sched = (
+        output.align_seconds_per_rank
+        if align_mult == 1.0
+        else output.align_seconds_per_rank * align_mult
+    )
+    record = task.accumulate(ctx)
+    timeline.append(
+        BlockTiming(
+            block_row=task.block_row,
+            block_col=task.block_col,
+            sparse_raw=record.sparse_seconds_per_rank,
+            align_raw=record.align_seconds_per_rank,
+            sparse_scheduled=(
+                record.sparse_seconds_per_rank
+                if sparse_scheduled is None
+                else sparse_scheduled
+            ),
+            align_scheduled=align_sched,
+        )
+    )
+    return record, output, align_sched
+
+
 class Scheduler:
     """Base scheduler: executes a list of block tasks against a context."""
 
@@ -116,31 +159,24 @@ class SerialScheduler(Scheduler):
         records: list[BlockRecord] = []
         kernel_seconds = 0.0
         measured_seconds = 0.0
-        for task in tasks:
-            task.discover(ctx)
-            _charge_sparse(ctx, task.sparse_seconds, 1.0)
-            task.prune(ctx)
-            output = task.align(ctx)
-            _charge_alignment(ctx, output, 1.0)
-            kernel_seconds += output.kernel_seconds
-            measured_seconds += output.measured_seconds
-            record = task.accumulate(ctx)
-            records.append(record)
-            timeline.append(
-                BlockTiming(
-                    block_row=task.block_row,
-                    block_col=task.block_col,
-                    sparse_raw=record.sparse_seconds_per_rank,
-                    align_raw=record.align_seconds_per_rank,
-                    sparse_scheduled=record.sparse_seconds_per_rank,
-                    align_scheduled=record.align_seconds_per_rank,
-                )
-            )
+        measured_discover = 0.0
+        phase_timer = Timer()
+        with phase_timer:
+            for task in tasks:
+                task.discover(ctx)
+                _charge_sparse(ctx, task.sparse_seconds, 1.0)
+                measured_discover += task.discover_wall_seconds
+                record, output, _ = _run_foreground_stages(task, ctx, timeline)
+                kernel_seconds += output.kernel_seconds
+                measured_seconds += output.measured_seconds
+                records.append(record)
+        timeline.measured_phase_seconds = phase_timer.elapsed
         return ScheduleOutcome(
             records=records,
             timeline=timeline,
             kernel_seconds=kernel_seconds,
             measured_align_seconds=measured_seconds,
+            measured_discover_seconds=measured_discover,
         )
 
 
@@ -175,66 +211,73 @@ class OverlappedScheduler(Scheduler):
         records: list[BlockRecord] = []
         kernel_seconds = 0.0
         measured_seconds = 0.0
+        measured_discover = 0.0
         clock = np.zeros(ctx.comm.size)
+        phase_timer = Timer()
 
-        # prologue: the first block's discovery has nothing to hide behind
-        tasks[0].discover(ctx)
-        _charge_sparse(ctx, tasks[0].sparse_seconds, sparse_mult)
-        sparse_sched_next = tasks[0].sparse_seconds * sparse_mult
-        clock += sparse_sched_next
+        with phase_timer:
+            # prologue: the first block's discovery has nothing to hide behind
+            tasks[0].discover(ctx)
+            _charge_sparse(ctx, tasks[0].sparse_seconds, sparse_mult)
+            measured_discover += tasks[0].discover_wall_seconds
+            sparse_sched_next = tasks[0].sparse_seconds * sparse_mult
+            clock += sparse_sched_next
 
-        for index, task in enumerate(tasks):
-            sparse_sched = sparse_sched_next
-            nxt = tasks[index + 1] if index + 1 < num_blocks else None
-            if nxt is not None:
-                # CPU SpGEMM of block b+1 runs while block b is on the GPUs
-                nxt.discover(ctx)
-                _charge_sparse(ctx, nxt.sparse_seconds, sparse_mult)
-                sparse_sched_next = nxt.sparse_seconds * sparse_mult
+            for index, task in enumerate(tasks):
+                sparse_sched = sparse_sched_next
+                nxt = tasks[index + 1] if index + 1 < num_blocks else None
+                if nxt is not None:
+                    # CPU SpGEMM of block b+1 runs while block b is on the GPUs
+                    nxt.discover(ctx)
+                    _charge_sparse(ctx, nxt.sparse_seconds, sparse_mult)
+                    measured_discover += nxt.discover_wall_seconds
+                    sparse_sched_next = nxt.sparse_seconds * sparse_mult
 
-            task.prune(ctx)
-            output = task.align(ctx)
-            _charge_alignment(ctx, output, align_mult)
-            align_sched = output.align_seconds_per_rank * align_mult
-            kernel_seconds += output.kernel_seconds
-            measured_seconds += output.measured_seconds
-
-            if nxt is not None:
-                # the slot costs the slower of the two co-scheduled stages;
-                # the hidden remainder is ledgered for reconciliation
-                charge_overlap_slot(
-                    ledger, clock, align_sched, sparse_sched_next, OVERLAP_HIDDEN_CATEGORY
-                )
-            else:
-                # epilogue: the last block's alignment runs alone
-                clock += align_sched
-
-            record = task.accumulate(ctx)
-            records.append(record)
-            timeline.append(
-                BlockTiming(
-                    block_row=task.block_row,
-                    block_col=task.block_col,
-                    sparse_raw=record.sparse_seconds_per_rank,
-                    align_raw=record.align_seconds_per_rank,
+                record, output, align_sched = _run_foreground_stages(
+                    task, ctx, timeline,
+                    align_mult=align_mult,
                     sparse_scheduled=sparse_sched,
-                    align_scheduled=align_sched,
                 )
-            )
+                kernel_seconds += output.kernel_seconds
+                measured_seconds += output.measured_seconds
+                records.append(record)
+
+                if nxt is not None:
+                    # the slot costs the slower of the two co-scheduled stages;
+                    # the hidden remainder is ledgered for reconciliation
+                    charge_overlap_slot(
+                        ledger, clock, align_sched, sparse_sched_next, OVERLAP_HIDDEN_CATEGORY
+                    )
+                else:
+                    # epilogue: the last block's alignment runs alone
+                    clock += align_sched
 
         timeline.combined_per_rank = clock
+        timeline.measured_phase_seconds = phase_timer.elapsed
         return ScheduleOutcome(
             records=records,
             timeline=timeline,
             kernel_seconds=kernel_seconds,
             measured_align_seconds=measured_seconds,
+            measured_discover_seconds=measured_discover,
         )
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Factory: ``"serial"`` or ``"overlapped"`` (kwargs go to the scheduler)."""
+    """Factory: ``"serial"``, ``"overlapped"`` or ``"threaded"``.
+
+    Keyword arguments go to the scheduler — the threaded executor takes
+    ``depth`` (speculative discovery depth) and ``max_workers`` (discover
+    pool size).
+    """
     if name == "serial":
         return SerialScheduler(**kwargs)
     if name == "overlapped":
         return OverlappedScheduler(**kwargs)
-    raise ValueError(f"unknown scheduler {name!r}; available: serial, overlapped")
+    if name == "threaded":
+        from .executor import ThreadedScheduler  # circular-import guard
+
+        return ThreadedScheduler(**kwargs)
+    raise ValueError(
+        f"unknown scheduler {name!r}; available: serial, overlapped, threaded"
+    )

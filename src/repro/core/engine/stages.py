@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...distsparse.blocked_summa import BlockedSpGemm, BlockSchedule, OutputBlock
+from ...metrics.timers import time_call
 from ...mpi.communicator import SimCommunicator
 from ...sparse.coo import CooMatrix
 from ..align_phase import AlignmentPhase, BlockAlignmentOutput
@@ -96,12 +97,17 @@ class BlockTask:
     candidates: list[CooMatrix] | None = field(default=None, repr=False)
     output: BlockAlignmentOutput | None = field(default=None, repr=False)
     record: BlockRecord | None = field(default=None, repr=False)
+    #: wall-clock seconds the discover stage took (whatever thread ran it);
+    #: what the threaded executor reports as the background lane's real time
+    discover_wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------ stages
     def discover(self, ctx: StageContext) -> OutputBlock:
         """Compute this block via SUMMA and derive per-rank sparse seconds."""
         assert self.block is None, "discover ran twice"
-        block = ctx.engine.compute_block(self.block_row, self.block_col)
+        block, self.discover_wall_seconds = time_call(
+            ctx.engine.compute_block, self.block_row, self.block_col
+        )
         if ctx.params.clock == "modeled":
             sparse_seconds = np.array(
                 [

@@ -48,19 +48,30 @@ class StageTimeline:
     align_contention, sparse_contention:
         Multipliers relating the scheduled seconds to the raw seconds
         (1.0 under the serial scheduler).
+    preblock_depth:
+        Speculative discovery depth the schedule ran with (1 for the
+        serial and depth-1 overlapped schedules).
     blocks:
         One :class:`BlockTiming` per executed block, in execution order.
     combined_per_rank:
-        Final value of the overlapped scheduler's per-rank simulated clock
-        for the interleaved discover/align phases; ``None`` for schedules
-        with no overlap.
+        Final value of the scheduler's per-rank clock for the interleaved
+        discover/align phases — simulated seconds under the modeled clock,
+        real wall seconds fed through the same overlap algebra under
+        ``clock="measured"``; ``None`` for schedules with no overlap.
+    measured_phase_seconds:
+        Actual wall-clock seconds the scheduler's stage loop took (all
+        schedulers record it), so a measured-clock run can compare the real
+        interleaved elapsed time against the per-stage sum; ``None`` when
+        the scheduler did not time its loop.
     """
 
     scheduler: str
     align_contention: float = 1.0
     sparse_contention: float = 1.0
+    preblock_depth: int = 1
     blocks: list[BlockTiming] = field(default_factory=list)
     combined_per_rank: np.ndarray | None = None
+    measured_phase_seconds: float | None = None
 
     def append(self, timing: BlockTiming) -> None:
         """Record one executed block."""

@@ -15,7 +15,6 @@ from ..config import DEFAULTS
 from ..graph.api import ClusterParams
 from ..sequences.alphabet import Alphabet, MURPHY10, PROTEIN
 from ..sparse.kernels import (
-    AUTO_COMPRESSION_THRESHOLD,
     available_kernels,
     get_kernel,
     kernel_supports_semiring,
@@ -58,6 +57,31 @@ class PastisParams:
         ``"index"`` or ``"triangularity"`` (§VI-B).
     pre_blocking:
         Overlap next-block SpGEMM with current-block alignment (§VI-C).
+        Under ``clock="modeled"`` (and ``preblock_depth == 1``) the overlap
+        is simulated by
+        :class:`~repro.core.engine.schedulers.OverlappedScheduler` with the
+        paper's contention multipliers; under ``clock="measured"`` (or any
+        ``preblock_depth > 1``) it is *executed* by the threaded
+        measured-clock executor
+        (:class:`~repro.core.engine.executor.ThreadedScheduler`).  Results
+        are bit-identical in every case.
+    preblock_depth:
+        Speculative discovery depth ``k`` of the threaded executor: while
+        block ``b`` aligns, the discover stages of blocks ``b+1..b+k`` are
+        in flight, memory-bounded to ``k + 1`` live blocks by the streaming
+        accumulator's admission gate.  ``1`` is classic pre-blocking.
+        Ignored without ``pre_blocking``.
+    preblock_workers:
+        Worker threads of the executor's discover pool (``None`` = 1).
+        The discover lane runs in block order by design, so one worker
+        carries it at full speed; the knob exists because thread count
+        must never change results (asserted in the engine tests).
+    scheduler:
+        Explicit scheduler override (``"serial"``, ``"overlapped"`` or
+        ``"threaded"``); ``None`` (default) derives the scheduler from
+        ``pre_blocking``/``clock``/``preblock_depth``.  Results are
+        bit-identical across schedulers — the override selects an
+        execution strategy, not a computation.
     nodes:
         Number of virtual nodes / MPI ranks; must be a perfect square.
     align_batch_size:
@@ -91,8 +115,11 @@ class PastisParams:
         Predicted-compression-factor crossover at which the ``"auto"``
         backend routes to Gustavson instead of expand.  Promoted from the
         former module constant so the crossover can be calibrated per run;
-        defaults to :data:`repro.sparse.kernels.AUTO_COMPRESSION_THRESHOLD`.
-        Fixed backends ignore it.
+        defaults to :data:`repro.config.DEFAULTS`'s value, which is the
+        registry constant :data:`repro.sparse.kernels.AUTO_COMPRESSION_THRESHOLD`
+        unless a measured calibration has been written back by
+        ``benchmarks/bench_auto_threshold.py --write-default`` (see
+        :func:`repro.config.write_calibration`).  Fixed backends ignore it.
     cluster:
         Post-search clustering stage configuration
         (:class:`repro.graph.api.ClusterParams`); disabled by default, in
@@ -112,6 +139,9 @@ class PastisParams:
     blocking: tuple[int, int] | None = None
     load_balancing: str = "index"
     pre_blocking: bool = False
+    preblock_depth: int = 1
+    preblock_workers: int | None = None
+    scheduler: str | None = None
     nodes: int = 4
     align_batch_size: int = 128
     use_threads: bool = False
@@ -119,7 +149,7 @@ class PastisParams:
     alignment_mode: str = "full_sw"
     spgemm_backend: str = DEFAULTS.spgemm_backend
     batch_flops: int | None = None
-    auto_compression_threshold: float = AUTO_COMPRESSION_THRESHOLD
+    auto_compression_threshold: float = DEFAULTS.auto_compression_threshold
     cluster: ClusterParams = field(default_factory=ClusterParams)
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
@@ -152,6 +182,15 @@ class PastisParams:
             )
         if self.batch_flops is not None and self.batch_flops < 1:
             raise ValueError("batch_flops must be >= 1 (or None for the kernel default)")
+        if self.preblock_depth < 1:
+            raise ValueError("preblock_depth must be >= 1")
+        if self.preblock_workers is not None and self.preblock_workers < 1:
+            raise ValueError("preblock_workers must be >= 1 (or None for auto-sizing)")
+        if self.scheduler not in (None, "serial", "overlapped", "threaded"):
+            raise ValueError(
+                "scheduler must be None, 'serial', 'overlapped' or 'threaded', "
+                f"got {self.scheduler!r}"
+            )
         if self.auto_compression_threshold <= 0:
             raise ValueError("auto_compression_threshold must be positive")
         if not isinstance(self.cluster, ClusterParams):

@@ -170,7 +170,27 @@ class PastisPipeline:
             accumulator=accumulator,
             stripe_seconds=cost_model.sparse_traversal_seconds(stripe_bytes_per_rank),
         )
-        scheduler = make_scheduler("overlapped" if params.pre_blocking else "serial")
+        # scheduler selection: no pre-blocking -> serial; pre-blocking on the
+        # modeled clock at depth 1 -> the simulated overlapped scheduler with
+        # the paper's contention multipliers; measured clock or speculative
+        # depth > 1 -> the threaded executor (real worker-pool concurrency).
+        # params.scheduler overrides the derivation.
+        if params.scheduler is not None:
+            scheduler_name = params.scheduler
+        elif not params.pre_blocking:
+            scheduler_name = "serial"
+        elif params.clock == "measured" or params.preblock_depth > 1:
+            scheduler_name = "threaded"
+        else:
+            scheduler_name = "overlapped"
+        if scheduler_name == "threaded":
+            scheduler = make_scheduler(
+                "threaded",
+                depth=params.preblock_depth,
+                max_workers=params.preblock_workers,
+            )
+        else:
+            scheduler = make_scheduler(scheduler_name)
         outcome: ScheduleOutcome = scheduler.run(tasks, ctx)
         block_records = outcome.records
 
@@ -254,8 +274,10 @@ class PastisPipeline:
             imbalance_sparse_percent=_imbalance_percent(ledger.per_rank("spgemm")),
             extras={
                 "measured_align_seconds": outcome.measured_align_seconds,
+                "measured_discover_seconds": outcome.measured_discover_seconds,
                 "peak_live_block_bytes": float(accumulator.peak_live_block_bytes),
                 "retained_block_bytes": float(accumulator.retained_block_bytes),
+                "peak_live_blocks": float(accumulator.peak_live_blocks),
                 "edge_buffer_bytes": float(accumulator.memory.peak("edge_buffer")),
                 "spgemm_row_groups": float(engine.total_stats.row_groups),
             },

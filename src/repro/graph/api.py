@@ -72,10 +72,23 @@ class ClusterParams:
         Distributed runs only: co-schedule ``expand(b+1)`` with ``prune(b)``
         on the simulated clock (hidden seconds ledgered under
         ``cluster_overlap_hidden``).  Labels are unaffected.
+    overlap_depth:
+        Speculative depth ``k`` of the distributed overlapped schedule
+        (``expand(b+1..b+k)`` in flight behind ``prune(b)``), scheduled
+        through the shared :class:`repro.mpi.costmodel.OverlapWindow`
+        algebra; ``1`` is the classic slot schedule.  Ignored without
+        ``overlap``.
     regularized:
         Regularized MCL (expand against the *original* transition matrix
         each iteration) — the cheap sensitivity option; honored by both the
         single-rank and the distributed driver.
+    rmcl_tolerance:
+        Flow-balance residual stop criterion for ``regularized`` runs: stop
+        when the max per-column L1 change between consecutive iterates
+        drops to this value or below (R-MCL iterates balance flow rather
+        than reaching idempotency, so the chaos ``tolerance`` rarely fires
+        for them).  Honored bit-identically by both drivers; ``0``
+        disables.
     """
 
     enabled: bool = False
@@ -91,7 +104,9 @@ class ClusterParams:
     batch_flops: int | None = None
     nprocs: int = 1
     overlap: bool = False
+    overlap_depth: int = 1
     regularized: bool = False
+    rmcl_tolerance: float = 0.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -117,6 +132,10 @@ class ClusterParams:
             raise ValueError("top_k must be >= 1 (or None)")
         if self.tolerance < 0.0:
             raise ValueError("tolerance must be non-negative")
+        if self.rmcl_tolerance < 0.0:
+            raise ValueError("rmcl_tolerance must be non-negative (0 disables)")
+        if self.overlap_depth < 1:
+            raise ValueError("overlap_depth must be >= 1")
         if self.spgemm_backend is not None and self.spgemm_backend not in available_kernels():
             raise ValueError(
                 f"spgemm_backend must be one of {available_kernels()} (or None), "
@@ -249,7 +268,9 @@ def cluster_similarity_graph(graph, params: ClusterParams | None = None) -> Clus
             spgemm_backend=backend,
             batch_flops=params.batch_flops,
             overlap=params.overlap,
+            overlap_depth=params.overlap_depth,
             regularized=params.regularized,
+            rmcl_tolerance=params.rmcl_tolerance,
         )
         dist_result = dist_mcl.fit_graph(
             graph,
@@ -279,6 +300,7 @@ def cluster_similarity_graph(graph, params: ClusterParams | None = None) -> Clus
         spgemm_backend=backend,
         batch_flops=params.batch_flops,
         regularized=params.regularized,
+        rmcl_tolerance=params.rmcl_tolerance,
     )
     result = mcl.fit_graph(
         graph, transform=params.weight_transform, self_loop_weight=params.self_loop_weight

@@ -27,12 +27,13 @@ the cluster analogue of the search's ``num_blocks``) —
     Iteration epilogue: one global "did anything drop" flag, the
     post-prune renormalization, and the chaos reduction.
 
-— so the same overlap algebra the search engine's ``OverlappedScheduler``
-executes (via the shared :func:`repro.mpi.costmodel.charge_overlap_slot`)
-co-schedules ``expand(b+1)`` with ``prune(b)`` on the simulated clock,
-ledgering the hidden seconds under ``cluster_overlap_hidden`` so that
-``cluster_expand + cluster_prune − cluster_overlap_hidden == combined
-clock`` per rank.
+— so the same overlap algebra the search engine executes (the shared
+depth-``k`` :class:`repro.mpi.costmodel.OverlapWindow`, of which the classic
+``charge_overlap_slot`` is the depth-1 special case) co-schedules
+``expand(b+1..b+k)`` with ``prune(b)`` on the simulated clock
+(``overlap_depth`` selects ``k``), ledgering the hidden seconds under
+``cluster_overlap_hidden`` so that ``cluster_expand + cluster_prune −
+cluster_overlap_hidden == combined clock`` per rank for every depth.
 
 **Bit-identity.**  The distributed run produces the same labels and the same
 final matrix, bit for bit, as single-rank
@@ -72,7 +73,7 @@ from ..distsparse.summa import summa
 from ..metrics.memory import MemoryTracker
 from ..mpi.collectives import CollectiveEngine
 from ..mpi.communicator import SimCommunicator
-from ..mpi.costmodel import charge_overlap_slot
+from ..mpi.costmodel import OverlapWindow
 from ..mpi.process_grid import is_perfect_square
 from ..sparse.coo import CooMatrix
 from ..sparse.csr import CsrMatrix
@@ -85,6 +86,7 @@ from .matrix import (
     apply_keep_mask,
     chaos_tcsr,
     column_sums_tcsr,
+    flow_residual_tcsr,
     inflate_tcsr,
     normalize_tcsr,
     prune_keep_mask,
@@ -315,6 +317,9 @@ class DistMclIterationStats:
     prune_seconds: float
     comm_seconds: float
     comm_bytes_sent: int
+    #: flow-balance residual (max per-column L1 change vs. the previous
+    #: iterate); None when the run does not track it (rmcl_tolerance == 0)
+    flow_residual: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Flat JSON-serializable view (for reports and benchmarks)."""
@@ -334,6 +339,7 @@ class DistMclIterationStats:
             "prune_seconds": self.prune_seconds,
             "comm_seconds": self.comm_seconds,
             "comm_bytes_sent": self.comm_bytes_sent,
+            "flow_residual": self.flow_residual,
         }
 
 
@@ -439,6 +445,19 @@ class DistMarkovClustering:
         (the §VI-C pre-blocking idea applied to the cluster stage).  Labels
         are unaffected — expansion always reads the iteration-start matrix,
         so the overlap is dependency-free.
+    overlap_depth:
+        Speculative depth ``k`` of the overlapped schedule: expansions of
+        blocks ``b+1..b+k`` may be in flight behind ``prune(b)``, scheduled
+        through the same depth-``k`` algebra
+        (:class:`repro.mpi.costmodel.OverlapWindow`) the search engine's
+        threaded executor uses.  ``1`` reproduces the classic slot schedule
+        bit for bit.  Ignored without ``overlap``.
+    rmcl_tolerance:
+        Flow-balance residual stop criterion for regularized runs (see
+        :class:`~repro.graph.mcl.MarkovClustering`); the residual is
+        evaluated per stripe and combined with a modeled ``max`` allreduce,
+        so convergence (and the final labels) stay bit-identical to the
+        single-rank driver.  ``0`` disables.
     blocks_per_grid_row:
         Stored-row sub-blocks per grid row (the cluster stage's analogue of
         the search's ``num_blocks``).  Consecutive sub-blocks of one grid
@@ -462,8 +481,10 @@ class DistMarkovClustering:
         spgemm_backend=None,
         batch_flops: int | None = None,
         overlap: bool = False,
+        overlap_depth: int = 1,
         blocks_per_grid_row: int = 2,
         regularized: bool = False,
+        rmcl_tolerance: float = 0.0,
     ) -> None:
         if not is_perfect_square(nprocs):
             raise ValueError(f"nprocs ({nprocs}) must be a perfect square")
@@ -479,6 +500,10 @@ class DistMarkovClustering:
             raise ValueError("tolerance must be non-negative")
         if blocks_per_grid_row < 1:
             raise ValueError("blocks_per_grid_row must be >= 1")
+        if overlap_depth < 1:
+            raise ValueError("overlap_depth must be >= 1")
+        if rmcl_tolerance < 0.0:
+            raise ValueError("rmcl_tolerance must be non-negative (0 disables)")
         self.blocks_per_grid_row = int(blocks_per_grid_row)
         self.nprocs = int(nprocs)
         self.inflation = float(inflation)
@@ -489,7 +514,9 @@ class DistMarkovClustering:
         self.spgemm_backend = spgemm_backend
         self.batch_flops = batch_flops
         self.overlap = bool(overlap)
+        self.overlap_depth = int(overlap_depth)
         self.regularized = bool(regularized)
+        self.rmcl_tolerance = float(rmcl_tolerance)
         resolve_kernel(spgemm_backend)  # fail fast on unknown names
 
     # ------------------------------------------------------------------ public API
@@ -643,18 +670,13 @@ class DistMarkovClustering:
 
             # ---- schedule the blocks on the simulated clock -------------------
             if self.overlap and n_blocks > 1:
-                clock += expand_seconds[0]
-                for b in range(n_blocks):
-                    if b + 1 < n_blocks:
-                        charge_overlap_slot(
-                            ledger,
-                            clock,
-                            prune_seconds[b],
-                            expand_seconds[b + 1],
-                            CLUSTER_OVERLAP_HIDDEN_CATEGORY,
-                        )
-                    else:
-                        clock += prune_seconds[b]
+                # the shared depth-k overlap algebra: expand(b+1..b+k) in
+                # flight behind prune(b); depth 1 reproduces the classic
+                # charge_overlap_slot schedule bit for bit
+                window = OverlapWindow(ledger, clock, CLUSTER_OVERLAP_HIDDEN_CATEGORY)
+                window.run_schedule(
+                    prune_seconds, expand_seconds, depth=self.overlap_depth
+                )
             else:
                 for b in range(n_blocks):
                     clock += expand_seconds[b] + prune_seconds[b]
@@ -713,6 +735,20 @@ class DistMarkovClustering:
                 )
                 for row in range(dim)
             ]
+            # flow-balance residual (R-MCL stop criterion): per-stripe L1
+            # change combined with a modeled max allreduce — bit-identical
+            # to the single-rank residual on the whole matrix
+            residual = None
+            if self.rmcl_tolerance > 0:
+                residual = max(
+                    flow_residual_tcsr(old, new)
+                    for old, new in zip(current.stripes, new_stripes)
+                )
+                cluster_collectives.allreduce(
+                    {rank: np.array([residual]) for rank in range(comm.size)},
+                    np.maximum,
+                )
+                predictor.allreduce(8, comm.size)
             current = DistStochasticMatrix(comm, new_stripes, current.n)
             memory.set_usage(DIST_MCL_ITERATE, current.memory_bytes())
             memory.set_usage(DIST_MCL_INTERMEDIATE, block_stats.intermediate_bytes)
@@ -738,9 +774,12 @@ class DistMarkovClustering:
                     ),
                     comm_seconds=comm_seconds,
                     comm_bytes_sent=int(ledger.counter_total(sent_counter) - sent_before),
+                    flow_residual=residual,
                 )
             )
-            if chaos <= self.tolerance:
+            if chaos <= self.tolerance or (
+                residual is not None and residual <= self.rmcl_tolerance
+            ):
                 converged = True
                 break
 

@@ -31,7 +31,7 @@ import numpy as np
 from ..metrics.memory import MemoryTracker
 from ..sparse.kernels import DEFAULT_KERNEL, resolve_kernel
 from .components import canonical_labels, component_roots
-from .matrix import StochasticMatrix
+from .matrix import StochasticMatrix, flow_residual_tcsr
 
 #: Memory-tracker component for the live MCL iterate.
 MCL_ITERATE = "mcl_iterate"
@@ -54,6 +54,9 @@ class MclIterationStats:
     pruned_mass_max: float
     chaos: float
     expand_seconds: float
+    #: flow-balance residual (max per-column L1 change vs. the previous
+    #: iterate); None when the run does not track it (rmcl_tolerance == 0)
+    flow_residual: float | None = None
 
     def as_dict(self) -> dict[str, float]:
         """Flat JSON-serializable view (for reports and benchmarks)."""
@@ -69,6 +72,7 @@ class MclIterationStats:
             "pruned_mass_max": self.pruned_mass_max,
             "chaos": self.chaos,
             "expand_seconds": self.expand_seconds,
+            "flow_residual": self.flow_residual,
         }
 
 
@@ -133,6 +137,15 @@ class MarkovClustering:
         sensitivity option: one product per iteration against a fixed,
         sparse right-hand side, and less prone to the classic MCL habit of
         hollowing out large clusters into many singleton attractors.
+    rmcl_tolerance:
+        Flow-balance residual threshold: stop when the max per-column L1
+        change between consecutive iterates
+        (:func:`~repro.graph.matrix.flow_residual_tcsr`) drops to this
+        value or below.  R-MCL iterates balance flow rather than reaching
+        strict idempotency, so the chaos tolerance rarely fires for
+        ``regularized=True`` runs; this criterion is what lets them stop
+        before ``max_iterations``.  ``0`` (the default) disables the
+        criterion (and its per-iteration residual computation).
     """
 
     def __init__(
@@ -145,6 +158,7 @@ class MarkovClustering:
         spgemm_backend=None,
         batch_flops: int | None = None,
         regularized: bool = False,
+        rmcl_tolerance: float = 0.0,
     ) -> None:
         if inflation <= 1.0:
             raise ValueError("inflation must be > 1 (1.0 would never sharpen the walk)")
@@ -156,11 +170,14 @@ class MarkovClustering:
             raise ValueError("top_k must be >= 1 (or None)")
         if tolerance < 0.0:
             raise ValueError("tolerance must be non-negative")
+        if rmcl_tolerance < 0.0:
+            raise ValueError("rmcl_tolerance must be non-negative (0 disables)")
         self.inflation = float(inflation)
         self.max_iterations = int(max_iterations)
         self.prune_threshold = float(prune_threshold)
         self.top_k = top_k
         self.tolerance = float(tolerance)
+        self.rmcl_tolerance = float(rmcl_tolerance)
         self.spgemm_backend = spgemm_backend
         self.batch_flops = batch_flops
         self.regularized = bool(regularized)
@@ -181,6 +198,7 @@ class MarkovClustering:
         iterations: list[MclIterationStats] = []
         converged = False
         for iteration in range(1, self.max_iterations + 1):
+            previous_tcsr = current.tcsr if self.rmcl_tolerance > 0 else None
             t0 = time.perf_counter()
             expanded, spgemm_stats = current.expand(
                 kernel=self.spgemm_backend,
@@ -191,6 +209,11 @@ class MarkovClustering:
             inflated = expanded.inflate(self.inflation)
             current, prune_stats = inflated.prune(self.prune_threshold, self.top_k)
             chaos = current.chaos()
+            residual = (
+                flow_residual_tcsr(previous_tcsr, current.tcsr)
+                if previous_tcsr is not None
+                else None
+            )
             memory.set_usage(MCL_ITERATE, current.memory_bytes())
             memory.set_usage(MCL_INTERMEDIATE, spgemm_stats.intermediate_bytes)
             iterations.append(
@@ -206,9 +229,12 @@ class MarkovClustering:
                     pruned_mass_max=prune_stats.pruned_mass_max,
                     chaos=chaos,
                     expand_seconds=expand_seconds,
+                    flow_residual=residual,
                 )
             )
-            if chaos <= self.tolerance:
+            if chaos <= self.tolerance or (
+                residual is not None and residual <= self.rmcl_tolerance
+            ):
                 converged = True
                 break
         labels = interpret_clusters(current)

@@ -36,6 +36,18 @@ class Timer:
         self._start = None
 
 
+def time_call(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and return ``(result, elapsed_seconds)``.
+
+    The wall-clock measurement primitive of the measured-clock executor:
+    stage implementations wrap their work in one call so schedulers receive
+    real seconds through the same interface the modeled clock uses.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
 class TimerRegistry:
     """A set of named accumulating timers (one per pipeline component)."""
 

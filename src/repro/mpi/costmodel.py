@@ -23,6 +23,7 @@ ledger reconcilable with the simulated clock:
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -84,13 +85,171 @@ def charge_overlap_slot(
         ledger.charge(rank, hidden_category, float(hidden[rank]))
 
 
+class OverlapWindow:
+    """Depth-``k`` generalization of :func:`charge_overlap_slot`.
+
+    :func:`charge_overlap_slot` co-schedules exactly one background stage
+    against one foreground stage.  With speculative depth ``k`` there can be
+    up to ``k`` background stages in flight (``discover(b+1..b+k)`` behind
+    ``align(b)`` in the search engine, ``expand(b+1..b+k)`` behind
+    ``prune(b)`` in distributed MCL).  The window models the background lane
+    as a FIFO: stages enter via :meth:`push` when they are issued and drain
+    at one second per second — in issue order, exactly like the executor's
+    ordered worker lane — concurrently with the foreground stages.
+
+    Each :meth:`foreground` slot may name a background stage (by its issue
+    sequence number) that has to be complete before the next foreground
+    stage can start — the next block's discovery.  The slot then lasts
+    ``max(foreground, due)`` where ``due`` is the remaining seconds of every
+    queued stage up to and including the required one (FIFO: later stages
+    cannot finish before earlier ones); any further speculative backlog
+    keeps draining for the whole slot.  The background seconds that ran
+    concurrently with the foreground are charged to ``hidden_category``,
+    which preserves the reconciliation identity of the depth-1 algebra for
+    every depth::
+
+        sum(foreground) + sum(background) - sum(hidden) == clock   (per rank)
+
+    because every slot satisfies ``foreground + completed - hidden ==
+    max(foreground, completed) == slot`` and :meth:`barrier`/:meth:`finish`
+    advance the clock by exactly the un-hidden remainder.  At depth 1 the
+    sequence ``push(b); foreground(f, require_seq=<that push>)`` is
+    bit-identical to ``charge_overlap_slot(ledger, clock, f, b, ...)``
+    (asserted in ``tests/test_mpi_runtime.py``).
+
+    The ``clock`` array is caller-owned and mutated in place, mirroring
+    :func:`charge_overlap_slot`.
+    """
+
+    def __init__(self, ledger: "CostLedger", clock: np.ndarray, hidden_category: str) -> None:
+        self.ledger = ledger
+        self.clock = clock
+        self.hidden_category = hidden_category
+        self._queue: list[tuple[int, np.ndarray]] = []  # (issue seq, remaining)
+        self._next_seq = 0
+
+    @property
+    def backlog_stages(self) -> int:
+        """Number of background stages with remaining work."""
+        return len(self._queue)
+
+    def push(self, seconds: np.ndarray) -> int:
+        """Issue one background stage (per-rank seconds); returns its seq."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._queue.append((seq, np.asarray(seconds, dtype=np.float64).copy()))
+        return seq
+
+    def barrier(self, count: int | None = None) -> None:
+        """Run the first ``count`` queued stages to completion, foreground idle.
+
+        Nothing is hidden: the clock advances by the stages' remaining
+        seconds (the prologue — the first block's discovery has nothing to
+        hide behind — and any epilogue drain).
+        """
+        count = len(self._queue) if count is None else min(count, len(self._queue))
+        for _ in range(count):
+            self.clock += self._queue.pop(0)[1]
+
+    def finish(self) -> None:
+        """Drain all remaining background work (epilogue)."""
+        self.barrier()
+
+    def run_schedule(
+        self,
+        foregrounds: list[np.ndarray],
+        backgrounds: list[np.ndarray],
+        depth: int = 1,
+    ) -> None:
+        """Drive one complete depth-``k`` block schedule through the window.
+
+        The convention every caller shares (and that push sequence numbers
+        equal block indices relies on): ``backgrounds[0]`` runs alone as the
+        prologue (the first block's discovery has nothing to hide behind);
+        foreground ``b`` then runs with backgrounds ``b+1..b+depth`` issued,
+        and background ``b+1`` must complete before foreground ``b+1`` can
+        start; leftover speculative backlog drains in the epilogue.  Must be
+        called on a fresh window — the schedule owns the whole FIFO.
+        """
+        if len(foregrounds) != len(backgrounds):
+            raise ValueError("need one background stage per foreground stage")
+        if self._next_seq != 0:
+            raise ValueError("run_schedule requires a fresh OverlapWindow")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        num_blocks = len(foregrounds)
+        if num_blocks == 0:
+            return
+        self.push(backgrounds[0])
+        self.barrier(1)
+        pushed = 1
+        for index in range(num_blocks):
+            while pushed <= min(index + depth, num_blocks - 1):
+                self.push(backgrounds[pushed])
+                pushed += 1
+            self.foreground(
+                foregrounds[index],
+                require_seq=index + 1 if index + 1 < num_blocks else None,
+            )
+        self.finish()
+
+    def foreground(self, seconds: np.ndarray, require_seq: int | None = None) -> None:
+        """Run one foreground stage for one schedule slot.
+
+        ``require_seq`` names the background stage (issue sequence number,
+        as returned by :meth:`push`) that must have completed by the end of
+        this slot; ``None`` requires nothing (the last block's foreground
+        runs with no successor to wait for).  A stage that already drained
+        speculatively during earlier slots contributes nothing to ``due``.
+        """
+        fg = np.asarray(seconds, dtype=np.float64)
+        due = np.zeros_like(fg)
+        if require_seq is not None:
+            for seq, stage in self._queue:
+                if seq <= require_seq:
+                    due = due + stage
+        slot = np.maximum(fg, due)
+        backlog = np.zeros_like(fg)
+        for _, stage in self._queue:
+            backlog = backlog + stage
+        completed = np.minimum(backlog, slot)
+        hidden = np.minimum(fg, completed)
+        for rank in range(self.clock.size):
+            self.ledger.charge(rank, self.hidden_category, float(hidden[rank]))
+        self.clock += slot
+        self._drain(completed)
+
+    def _drain(self, completed: np.ndarray) -> None:
+        """Consume ``completed`` per-rank seconds from the FIFO, front first."""
+        remaining = completed.copy()
+        kept: list[tuple[int, np.ndarray]] = []
+        for seq, stage in self._queue:
+            take = np.minimum(stage, remaining)
+            left = stage - take
+            remaining = remaining - take
+            if np.any(left > 0):
+                kept.append((seq, left))
+        self._queue = kept
+
+
 class CostLedger:
-    """Accumulates per-rank, per-category time (simulated or measured seconds)."""
+    """Accumulates per-rank, per-category time (simulated or measured seconds).
+
+    Thread safety: every mutation and read holds an internal lock, so the
+    threaded executor's two lanes (workers charging communication/measured
+    categories inside ``summa``, the main thread charging ``align`` and
+    ``spgemm``) can share one ledger without lost updates.  Note that the
+    lock makes concurrent charging *safe*, not *ordered* — reproducible
+    float sums additionally require that concurrent lanes charge disjoint
+    categories (which the executor's lane split guarantees) or charge in a
+    deterministic order (the executor's block-order turnstile).
+    """
 
     def __init__(self, nranks: int) -> None:
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
+        self._lock = threading.Lock()
         self._time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
         self._counters: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
 
@@ -100,56 +259,68 @@ class CostLedger:
         self._check_rank(rank)
         if seconds < 0:
             raise ValueError("cannot charge negative time")
-        self._time[category][rank] += seconds
+        with self._lock:
+            self._time[category][rank] += seconds
 
     def charge_all(self, category: str, seconds: float | np.ndarray) -> None:
         """Add time to every rank (scalar, or one value per rank)."""
         arr = np.broadcast_to(np.asarray(seconds, dtype=np.float64), (self.nranks,))
         if (arr < 0).any():
             raise ValueError("cannot charge negative time")
-        self._time[category] = self._time[category] + arr
+        with self._lock:
+            self._time[category] = self._time[category] + arr
 
     def count(self, rank: int, counter: str, amount: float = 1.0) -> None:
         """Increment a per-rank counter (e.g. alignments, flops, bytes sent)."""
         self._check_rank(rank)
-        self._counters[counter][rank] += amount
+        with self._lock:
+            self._counters[counter][rank] += amount
 
     def count_all(self, counter: str, amounts: np.ndarray | float) -> None:
         """Increment a counter on every rank."""
         arr = np.broadcast_to(np.asarray(amounts, dtype=np.float64), (self.nranks,))
-        self._counters[counter] = self._counters[counter] + arr
+        with self._lock:
+            self._counters[counter] = self._counters[counter] + arr
 
     # ------------------------------------------------------------------ queries
     def per_rank(self, category: str) -> np.ndarray:
         """Per-rank time vector for a category (zeros if never charged)."""
-        return self._time[category].copy()
+        with self._lock:
+            return self._time[category].copy()
 
     def counter_per_rank(self, counter: str) -> np.ndarray:
         """Per-rank counter vector."""
-        return self._counters[counter].copy()
+        with self._lock:
+            return self._counters[counter].copy()
 
     def counter_total(self, counter: str) -> float:
         """Sum of a counter over ranks."""
-        return float(self._counters[counter].sum())
+        with self._lock:
+            return float(self._counters[counter].sum())
 
     def categories(self) -> list[str]:
         """Names of all charged time categories."""
-        return sorted(self._time.keys())
+        with self._lock:
+            return sorted(self._time.keys())
 
     def breakdown(self, category: str) -> TimeBreakdown:
         """Min/avg/max of a category over ranks."""
-        return TimeBreakdown.from_values(self._time[category])
+        with self._lock:
+            values = self._time[category].copy()
+        return TimeBreakdown.from_values(values)
 
     def component_time(self, category: str) -> float:
         """Bulk-synchronous component time: the maximum over ranks."""
-        return float(self._time[category].max()) if category in self._time else 0.0
+        with self._lock:
+            return float(self._time[category].max()) if category in self._time else 0.0
 
     def total_per_rank(self, exclude: tuple[str, ...] = ()) -> np.ndarray:
         """Sum over categories per rank, excluding the given categories."""
         total = np.zeros(self.nranks)
-        for cat, values in self._time.items():
-            if cat not in exclude:
-                total += values
+        with self._lock:
+            for cat, values in self._time.items():
+                if cat not in exclude:
+                    total += values
         return total
 
     def total_time(self, exclude: tuple[str, ...] = ()) -> float:
@@ -167,14 +338,22 @@ class CostLedger:
         """Combine two ledgers over the same rank count (times add up)."""
         if other.nranks != self.nranks:
             raise ValueError("cannot merge ledgers with different rank counts")
+        # snapshot each ledger under its own lock, sequentially (never
+        # nested, so two concurrent A.merge(B)/B.merge(A) cannot deadlock)
+        with self._lock:
+            time_a = {cat: values.copy() for cat, values in self._time.items()}
+            counters_a = {cnt: values.copy() for cnt, values in self._counters.items()}
+        with other._lock:
+            time_b = {cat: values.copy() for cat, values in other._time.items()}
+            counters_b = {cnt: values.copy() for cnt, values in other._counters.items()}
         merged = CostLedger(self.nranks)
-        for cat, values in self._time.items():
-            merged._time[cat] = values.copy()
-        for cat, values in other._time.items():
+        for cat, values in time_a.items():
+            merged._time[cat] = values
+        for cat, values in time_b.items():
             merged._time[cat] = merged._time[cat] + values
-        for cnt, values in self._counters.items():
-            merged._counters[cnt] = values.copy()
-        for cnt, values in other._counters.items():
+        for cnt, values in counters_a.items():
+            merged._counters[cnt] = values
+        for cnt, values in counters_b.items():
             merged._counters[cnt] = merged._counters[cnt] + values
         return merged
 

@@ -20,6 +20,7 @@ from repro.core.engine import (
     OverlappedScheduler,
     SerialScheduler,
     StreamingGraphAccumulator,
+    ThreadedScheduler,
     make_scheduler,
 )
 from repro.core.engine.schedulers import OVERLAP_HIDDEN_CATEGORY
@@ -30,7 +31,7 @@ from repro.sequences.synthetic import synthetic_dataset
 
 #: SearchStats keys that legitimately differ between schedulers: clock
 #: readings (the overlapped schedule is the point of pre-blocking) and the
-#: memory footprint (two live blocks instead of one).
+#: memory footprint (k + 1 live blocks instead of one).
 TIMING_AND_MEMORY_KEYS = frozenset(
     {
         "time_total",
@@ -43,7 +44,9 @@ TIMING_AND_MEMORY_KEYS = frozenset(
         "cwait_percent",
         "wall_seconds",
         "measured_align_seconds",
+        "measured_discover_seconds",
         "peak_live_block_bytes",
+        "peak_live_blocks",
         "edge_buffer_bytes",
     }
 )
@@ -379,12 +382,294 @@ def test_predict_compression_factor_is_a_lower_bound():
     assert predict_compression_factor(empty, empty) == 1.0
 
 
+# ---------------------------------------------------------------- threaded executor
+def _stats_equal_modulo_timing(stats_a, stats_b):
+    assert set(stats_a) == set(stats_b)
+    for key, value in stats_a.items():
+        if key in TIMING_AND_MEMORY_KEYS:
+            continue
+        if key.startswith("imbalance_"):
+            assert stats_b[key] == pytest.approx(value, rel=1e-9), key
+        else:
+            assert stats_b[key] == value, key
+
+
+@pytest.fixture(scope="module")
+def threaded_serial_baseline():
+    """Serial reference run for the depth x threads bit-identity matrix."""
+    seqs = synthetic_dataset(n_sequences=40, seed=3)
+    return seqs, _run(seqs, num_blocks=6)
+
+
+# acceptance: bit-identical records/edges across depth {1, 2, 4} x threads
+# {1, 2, 4} — concurrency may reorder execution, never results
+@pytest.mark.parametrize("depth", [1, 2, 4])
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_threaded_scheduler_bit_identical_to_serial(
+    depth, threads, threaded_serial_baseline
+):
+    seqs, serial = threaded_serial_baseline
+    threaded = _run(
+        seqs,
+        num_blocks=6,
+        pre_blocking=True,
+        preblock_depth=depth,
+        preblock_workers=threads,
+        scheduler="threaded",
+    )
+    assert threaded.scheduler == "threaded"
+    assert np.array_equal(
+        serial.similarity_graph.edges, threaded.similarity_graph.edges
+    )
+    _assert_records_equal(serial.block_records, threaded.block_records)
+    _stats_equal_modulo_timing(serial.stats.as_dict(), threaded.stats.as_dict())
+    # the ordered discover lane makes even the per-rank ledger sums of the
+    # modeled categories bit-identical to the serial schedule
+    for category in ("align", "spgemm", "comm", "cwait", "sparse_other", "io"):
+        assert np.array_equal(
+            serial.ledger.per_rank(category), threaded.ledger.per_rank(category)
+        ), category
+    # memory bound: at most depth + 1 blocks were ever live
+    assert threaded.stats.extras["peak_live_blocks"] <= depth + 1
+
+
+def test_threaded_scheduler_clock_identity_and_report(threaded_serial_baseline):
+    """align + spgemm - overlap_hidden == combined clock, and a report derives."""
+    seqs, serial = threaded_serial_baseline
+    threaded = _run(
+        seqs, num_blocks=6, pre_blocking=True, preblock_depth=2, scheduler="threaded"
+    )
+    ledger = threaded.ledger
+    assert OVERLAP_HIDDEN_CATEGORY in ledger.categories()
+    reconstructed = (
+        ledger.per_rank("align")
+        + ledger.per_rank("spgemm")
+        - ledger.per_rank(OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(
+        reconstructed, threaded.timeline.combined_per_rank, rtol=1e-12
+    )
+    assert threaded.timeline.preblock_depth == 2
+    assert threaded.timeline.measured_phase_seconds > 0.0
+    report = threaded.preblocking_report
+    assert report is not None
+    # no synthetic contention in the executor: scheduled == raw components
+    assert report.align_seconds_pre == report.align_seconds
+    assert report.sparse_seconds_pre == report.sparse_seconds
+    # the schedule hid something, so the combined clock beats the sum
+    assert report.combined_seconds_pre < report.sum_seconds
+
+
+def test_threaded_scheduler_measured_clock_same_results(threaded_serial_baseline):
+    """Under clock="measured" the executor still produces the serial results."""
+    seqs, serial = threaded_serial_baseline
+    threaded = _run(
+        seqs,
+        num_blocks=6,
+        clock="measured",
+        pre_blocking=True,
+        preblock_depth=2,
+        preblock_workers=2,
+    )
+    assert threaded.scheduler == "threaded"  # measured + pre-blocking selects it
+    assert np.array_equal(
+        serial.similarity_graph.edges, threaded.similarity_graph.edges
+    )
+    # the invariant holds for measured wall seconds, not just modeled ones
+    ledger = threaded.ledger
+    reconstructed = (
+        ledger.per_rank("align")
+        + ledger.per_rank("spgemm")
+        - ledger.per_rank(OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(
+        reconstructed, threaded.timeline.combined_per_rank, rtol=1e-9
+    )
+
+
+def test_pipeline_scheduler_selection(small_seqs, fast_params):
+    """pre_blocking x clock x depth derive the documented scheduler choice."""
+    modeled = fast_params.replace(pre_blocking=True)
+    assert PastisPipeline(modeled).run(small_seqs).scheduler == "overlapped"
+    deep = fast_params.replace(pre_blocking=True, preblock_depth=2)
+    assert PastisPipeline(deep).run(small_seqs).scheduler == "threaded"
+
+
+def test_dist_mcl_labels_bit_identical_across_overlap_depths(pipeline_result):
+    """Distributed MCL inherits the depth-k overlap algebra: labels unchanged."""
+    from repro.graph.dist import (
+        CLUSTER_EXPAND_CATEGORY,
+        CLUSTER_OVERLAP_HIDDEN_CATEGORY,
+        CLUSTER_PRUNE_CATEGORY,
+        DistMarkovClustering,
+    )
+    from repro.graph.mcl import MarkovClustering
+
+    graph = pipeline_result.similarity_graph
+    serial = MarkovClustering().fit_graph(graph)
+    for depth in (1, 2, 4):
+        dist = DistMarkovClustering(
+            nprocs=4, overlap=True, overlap_depth=depth
+        ).fit_graph(graph)
+        assert np.array_equal(dist.labels, serial.labels), depth
+        assert dist.final_matrix.same_bits(serial.final_matrix)
+        ledger = dist.ledger
+        reconstructed = (
+            ledger.per_rank(CLUSTER_EXPAND_CATEGORY)
+            + ledger.per_rank(CLUSTER_PRUNE_CATEGORY)
+            - ledger.per_rank(CLUSTER_OVERLAP_HIDDEN_CATEGORY)
+        )
+        np.testing.assert_allclose(reconstructed, dist.clock_per_rank, rtol=1e-12)
+
+
+# ---------------------------------------------------------------- bounded admission
+def test_accumulator_peak_accounting_with_k_plus_1_live_blocks():
+    """depth+1 bounded admission: peak bytes and counts track the k+1 window."""
+    from repro.core.align_phase import EDGE_DTYPE
+
+    acc = StreamingGraphAccumulator(n_vertices=12, max_live_blocks=3)
+    sizes = [1000, 400, 2500, 800, 50]
+    # admit/compute the first k+1 = 3 blocks (speculation fills the window)
+    for nbytes in sizes[:3]:
+        acc.admit_block()
+        acc.block_computed(nbytes)
+    assert acc.live_blocks == 3
+    assert acc.peak_live_blocks == 3
+    assert acc.peak_live_block_bytes == 1000 + 400 + 2500
+    # consume/discard in block order while admitting the remaining blocks
+    acc.consume(np.zeros(0, dtype=EDGE_DTYPE))
+    acc.block_discarded(sizes[0])
+    acc.admit_block()
+    acc.block_computed(sizes[3])
+    assert acc.live_blocks == 3
+    assert acc.peak_live_block_bytes == 1000 + 400 + 2500  # old peak stands
+    acc.block_discarded(sizes[1])
+    acc.block_discarded(sizes[2])
+    acc.admit_block()
+    acc.block_computed(sizes[4])
+    acc.block_discarded(sizes[3])
+    acc.block_discarded(sizes[4])
+    assert acc.live_blocks == 0
+    assert acc.peak_live_blocks == 3
+    assert acc.retained_block_bytes == sum(sizes)
+    assert acc.live_block_bytes == 0
+
+
+def test_accumulator_duplicate_edges_arriving_out_of_block_order():
+    """Cross-block duplicates keep first-consumed attributes even when block
+    lifetimes interleave out of discard order (deep speculation)."""
+    from repro.core.align_phase import EDGE_DTYPE
+
+    def one_edge(row, col, score):
+        edges = np.zeros(1, dtype=EDGE_DTYPE)
+        edges["row"], edges["col"], edges["score"] = row, col, score
+        return edges
+
+    acc = StreamingGraphAccumulator(n_vertices=8, max_live_blocks=3)
+    # three blocks live at once; edges consumed in block order but discards
+    # interleave (block 1 outlives block 2's consumption)
+    for _ in range(3):
+        acc.admit_block()
+    acc.block_computed(100)
+    acc.block_computed(200)
+    acc.block_computed(300)
+    acc.consume(one_edge(2, 6, score=40))       # block 0: first occurrence
+    acc.block_discarded(100)
+    acc.consume(one_edge(6, 2, score=90))       # block 1: same unordered pair
+    acc.consume(one_edge(1, 3, score=10))       # block 2
+    acc.block_discarded(300)                    # block 2 discarded before block 1
+    acc.block_discarded(200)
+    assert acc.edges_streamed == 3
+    graph = acc.finalize()
+    assert graph.num_edges == 2
+    assert graph.edge_key_set() == {(2, 6), (1, 3)}
+    pair = graph.edges[(graph.edges["row"] == 2) & (graph.edges["col"] == 6)]
+    assert pair["score"][0] == 40  # first occurrence wins, block order decides
+
+
+def test_accumulator_forced_eviction_ordering():
+    """A full window blocks admission until the oldest block is evicted."""
+    import threading
+    import time as _time
+
+    acc = StreamingGraphAccumulator(n_vertices=4, max_live_blocks=2)
+    admitted: list[int] = []
+
+    def lane():
+        for block in range(4):
+            acc.admit_block()
+            acc.block_computed(100 * (block + 1))
+            admitted.append(block)
+
+    worker = threading.Thread(target=lane)
+    worker.start()
+    deadline = _time.monotonic() + 5.0
+    while len(admitted) < 2 and _time.monotonic() < deadline:
+        _time.sleep(0.005)
+    _time.sleep(0.05)
+    # the window is full: block 2 must wait for an eviction
+    assert admitted == [0, 1]
+    assert acc.live_blocks == 2
+    acc.block_discarded(100)          # evict block 0 -> admits block 2
+    while len(admitted) < 3 and _time.monotonic() < deadline:
+        _time.sleep(0.005)
+    assert admitted == [0, 1, 2]
+    acc.block_discarded(200)          # evict block 1 -> admits block 3
+    worker.join(timeout=5.0)
+    assert not worker.is_alive()
+    assert admitted == [0, 1, 2, 3]
+    assert acc.peak_live_blocks == 2  # the bound held throughout
+    acc.block_discarded(300)
+    acc.block_discarded(400)
+    assert acc.live_blocks == 0
+
+
+def test_accumulator_single_thread_over_bound_raises_not_hangs():
+    """Registering past the bound without a pre-admission fails loudly: the
+    registering thread may be the only one able to evict, so waiting for a
+    slot it would itself have to free would deadlock silently."""
+    acc = StreamingGraphAccumulator(n_vertices=4, max_live_blocks=1)
+    acc.block_computed(100)  # self-admits
+    with pytest.raises(RuntimeError, match="live-block bound exceeded"):
+        acc.block_computed(200)
+    acc.block_discarded(100)
+    acc.block_computed(200)  # a freed slot admits again
+    assert acc.live_blocks == 1
+
+
+def test_accumulator_abort_admission_unblocks_waiters():
+    import threading
+
+    acc = StreamingGraphAccumulator(n_vertices=4, max_live_blocks=1)
+    acc.admit_block()
+    acc.block_computed(10)
+    errors: list[Exception] = []
+
+    def blocked():
+        try:
+            acc.admit_block()
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    worker = threading.Thread(target=blocked)
+    worker.start()
+    acc.abort_admission()
+    worker.join(timeout=5.0)
+    assert not worker.is_alive()
+    assert len(errors) == 1
+
+
 # ---------------------------------------------------------------- scheduler contract
 def test_make_scheduler_factory():
     assert isinstance(make_scheduler("serial"), SerialScheduler)
     overlapped = make_scheduler("overlapped")
     assert isinstance(overlapped, OverlappedScheduler)
     assert overlapped.contention.align_contention > 1.0
+    threaded = make_scheduler("threaded", depth=3, max_workers=2)
+    assert isinstance(threaded, ThreadedScheduler)
+    assert (threaded.depth, threaded.max_workers) == (3, 2)
+    with pytest.raises(ValueError, match="depth"):
+        make_scheduler("threaded", depth=0)
     with pytest.raises(ValueError, match="unknown scheduler"):
         make_scheduler("speculative")
 

@@ -466,3 +466,81 @@ def test_cluster_params_regularized_route():
     assert regularized.labels.size == graph.n_vertices
     assert regularized.labels.min() == 0
     assert regularized.n_iterations >= 1
+
+
+def test_rmcl_flow_residual_stops_before_max_iterations():
+    """Regression for the ROADMAP open item: R-MCL runs used to spin to
+    max_iterations because the chaos tolerance rarely fires for flow-balanced
+    iterates; the flow-balance residual criterion stops them early."""
+    graph = bridged_cliques(6)
+    full = MarkovClustering(
+        regularized=True, max_iterations=40, tolerance=0.0
+    ).fit_graph(graph)
+    early = MarkovClustering(
+        regularized=True, max_iterations=40, tolerance=0.0, rmcl_tolerance=1e-6
+    ).fit_graph(graph)
+    # the chaos criterion never fired; the residual criterion did
+    assert not full.converged
+    assert early.converged
+    assert early.n_iterations < full.n_iterations
+    # the flow had balanced: stopping early does not change the partition
+    assert np.array_equal(early.labels, full.labels)
+    # residuals are recorded per iteration and decrease to the threshold
+    residuals = [it.flow_residual for it in early.iterations]
+    assert all(r is not None and np.isfinite(r) for r in residuals)
+    assert residuals[-1] <= 1e-6
+    assert residuals[0] > residuals[-1]
+
+
+def test_rmcl_residual_not_tracked_when_disabled():
+    graph = bridged_cliques(4)
+    result = MarkovClustering(regularized=True, max_iterations=5).fit_graph(graph)
+    assert all(it.flow_residual is None for it in result.iterations)
+
+
+def test_rmcl_tolerance_via_cluster_params():
+    graph = bridged_cliques(5)
+    base = ClusterParams(regularized=True, max_iterations=40, tolerance=0.0)
+    spin = cluster_similarity_graph(graph, base)
+    stop = cluster_similarity_graph(graph, base.replace(rmcl_tolerance=1e-6))
+    assert stop.converged and stop.n_iterations < spin.n_iterations
+    assert np.array_equal(stop.labels, spin.labels)
+
+
+def test_flow_residual_tcsr_counts_structural_churn():
+    from repro.graph.matrix import flow_residual_tcsr
+    from repro.sparse.csr import CsrMatrix
+
+    prev = CsrMatrix(
+        (2, 3),
+        np.array([0, 2, 3]),
+        np.array([0, 2, 1]),
+        np.array([0.5, 0.5, 1.0]),
+    )
+    # row 0: entry at col 2 vanishes (0.5), col 0 moves by 0.3 -> L1 = 0.8
+    # row 1: new entry at col 0 (0.25), col 1 drops by 0.25 -> L1 = 0.5
+    curr = CsrMatrix(
+        (2, 3),
+        np.array([0, 1, 3]),
+        np.array([0, 0, 1]),
+        np.array([0.8, 0.25, 0.75]),
+    )
+    assert flow_residual_tcsr(prev, curr) == pytest.approx(0.8)
+    assert flow_residual_tcsr(prev, prev) == 0.0
+    empty = CsrMatrix((2, 3), np.zeros(3, dtype=np.int64), np.array([], dtype=np.int64), np.array([]))
+    assert flow_residual_tcsr(empty, empty) == 0.0
+    with pytest.raises(ValueError, match="shapes differ"):
+        flow_residual_tcsr(prev, empty_matrix_of_other_shape())
+
+
+def empty_matrix_of_other_shape():
+    from repro.sparse.csr import CsrMatrix
+
+    return CsrMatrix((3, 3), np.zeros(4, dtype=np.int64), np.array([], dtype=np.int64), np.array([]))
+
+
+def test_rmcl_tolerance_validation():
+    with pytest.raises(ValueError, match="rmcl_tolerance"):
+        MarkovClustering(rmcl_tolerance=-1.0)
+    with pytest.raises(ValueError, match="rmcl_tolerance"):
+        ClusterParams(rmcl_tolerance=-0.5)

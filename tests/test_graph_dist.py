@@ -130,6 +130,57 @@ def test_regularized_parity_and_effect(matrix):
     assert serial.labels.min() == 0
 
 
+def test_rmcl_residual_criterion_bit_identical_to_serial():
+    """The flow-balance stop criterion fires at the same iteration on both
+    drivers, with identical labels, final matrices and per-iteration
+    residuals (the residual is a stripe-wise max, so distribution is exact)."""
+    graph = bridged_cliques(6)
+    mcl_kwargs = dict(
+        regularized=True, max_iterations=40, tolerance=0.0, rmcl_tolerance=1e-6
+    )
+    serial = MarkovClustering(**mcl_kwargs).fit_graph(graph)
+    assert serial.converged and serial.n_iterations < 40
+    for nprocs in (4, 9):
+        dist = DistMarkovClustering(nprocs=nprocs, overlap=True, **mcl_kwargs).fit_graph(graph)
+        assert dist.converged
+        assert dist.n_iterations == serial.n_iterations
+        assert np.array_equal(dist.labels, serial.labels)
+        assert dist.final_matrix.same_bits(serial.final_matrix)
+        for s_it, d_it in zip(serial.iterations, dist.iterations):
+            assert d_it.flow_residual == s_it.flow_residual
+        # the extra residual allreduce is mirrored in the volume prediction
+        assert dist.volume["predicted_bytes_sent"] == dist.volume["charged_bytes_sent"]
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_overlap_depth_does_not_change_results(matrix, serial_result, depth):
+    """Depth-k speculative expansion: same labels, identity still reconciles."""
+    dist = DistMarkovClustering(nprocs=4, overlap=True, overlap_depth=depth).fit(matrix)
+    assert np.array_equal(dist.labels, serial_result.labels)
+    assert dist.final_matrix.same_bits(serial_result.final_matrix)
+    ledger = dist.ledger
+    reconstructed = (
+        ledger.per_rank(CLUSTER_EXPAND_CATEGORY)
+        + ledger.per_rank(CLUSTER_PRUNE_CATEGORY)
+        - ledger.per_rank(CLUSTER_OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(reconstructed, dist.clock_per_rank, rtol=1e-12)
+
+
+def test_overlap_depth_hides_no_less_than_depth1(matrix):
+    """The depth-k schedule can only hide more background work than depth 1."""
+    hidden = {}
+    for depth in (1, 2, 4):
+        dist = DistMarkovClustering(
+            nprocs=4, overlap=True, overlap_depth=depth, blocks_per_grid_row=4
+        ).fit(matrix)
+        hidden[depth] = float(
+            dist.ledger.per_rank(CLUSTER_OVERLAP_HIDDEN_CATEGORY).sum()
+        )
+    assert hidden[1] <= hidden[2] + 1e-12
+    assert hidden[2] <= hidden[4] + 1e-12
+
+
 # ---------------------------------------------------------------- ledger identities
 @pytest.mark.parametrize("overlap", [False, True])
 def test_cluster_ledger_reconciles_with_clock(matrix, overlap):

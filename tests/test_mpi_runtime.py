@@ -6,7 +6,12 @@ import pytest
 from repro.hardware.cluster import summit_subset
 from repro.mpi.collectives import CollectiveEngine, payload_nbytes
 from repro.mpi.communicator import SimCommunicator
-from repro.mpi.costmodel import CostLedger, TimeBreakdown
+from repro.mpi.costmodel import (
+    CostLedger,
+    OverlapWindow,
+    TimeBreakdown,
+    charge_overlap_slot,
+)
 from repro.mpi.executor import SpmdExecutor
 from repro.mpi.io import ParallelIoModel
 from repro.mpi.process_grid import ProcessGrid, is_perfect_square
@@ -71,6 +76,147 @@ def test_time_breakdown_imbalance():
     assert tb.maximum == 3.0
     assert tb.imbalance_percent == pytest.approx(50.0)
     assert TimeBreakdown.from_values([]).average == 0.0
+
+
+# ---------------------------------------------------------------- overlap window
+def _random_stage_seconds(rng, blocks, nranks):
+    return [rng.uniform(0.1, 3.0, nranks) for _ in range(blocks)]
+
+
+def test_overlap_window_depth1_matches_charge_overlap_slot():
+    """At depth 1 the window reproduces the classic slot algebra to the bit."""
+    rng = np.random.default_rng(7)
+    nranks, blocks = 4, 6
+    fg = _random_stage_seconds(rng, blocks, nranks)
+    bg = _random_stage_seconds(rng, blocks, nranks)
+
+    slot_ledger = CostLedger(nranks)
+    slot_clock = np.zeros(nranks)
+    slot_clock += bg[0]
+    for b in range(blocks):
+        if b + 1 < blocks:
+            charge_overlap_slot(slot_ledger, slot_clock, fg[b], bg[b + 1], "hidden")
+        else:
+            slot_clock += fg[b]
+
+    win_ledger = CostLedger(nranks)
+    win_clock = np.zeros(nranks)
+    window = OverlapWindow(win_ledger, win_clock, "hidden")
+    window.push(bg[0])
+    window.barrier(1)
+    for b in range(blocks):
+        if b + 1 < blocks:
+            window.push(bg[b + 1])
+        window.foreground(fg[b], require_seq=b + 1 if b + 1 < blocks else None)
+    window.finish()
+
+    assert np.array_equal(slot_clock, win_clock)
+    assert np.array_equal(slot_ledger.per_rank("hidden"), win_ledger.per_rank("hidden"))
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 5])
+def test_overlap_window_identity_holds_for_every_depth(depth):
+    """sum(foreground) + sum(background) - hidden == clock, per rank."""
+    rng = np.random.default_rng(depth)
+    nranks, blocks = 3, 8
+    fg = _random_stage_seconds(rng, blocks, nranks)
+    bg = _random_stage_seconds(rng, blocks, nranks)
+
+    ledger = CostLedger(nranks)
+    clock = np.zeros(nranks)
+    window = OverlapWindow(ledger, clock, "hidden")
+    window.run_schedule(fg, bg, depth=depth)
+
+    total = np.sum(fg, axis=0) + np.sum(bg, axis=0)
+    np.testing.assert_allclose(total - ledger.per_rank("hidden"), clock, rtol=1e-12)
+    assert window.backlog_stages == 0
+
+
+def test_overlap_window_run_schedule_matches_manual_driving():
+    """run_schedule is exactly the documented prologue/require/epilogue loop."""
+    rng = np.random.default_rng(17)
+    nranks, blocks, depth = 4, 7, 3
+    fg = _random_stage_seconds(rng, blocks, nranks)
+    bg = _random_stage_seconds(rng, blocks, nranks)
+
+    manual_ledger = CostLedger(nranks)
+    manual_clock = np.zeros(nranks)
+    manual = OverlapWindow(manual_ledger, manual_clock, "hidden")
+    manual.push(bg[0])
+    manual.barrier(1)
+    pushed = 1
+    for b in range(blocks):
+        while pushed <= min(b + depth, blocks - 1):
+            manual.push(bg[pushed])
+            pushed += 1
+        manual.foreground(fg[b], require_seq=b + 1 if b + 1 < blocks else None)
+    manual.finish()
+
+    ledger = CostLedger(nranks)
+    clock = np.zeros(nranks)
+    OverlapWindow(ledger, clock, "hidden").run_schedule(fg, bg, depth=depth)
+    assert np.array_equal(clock, manual_clock)
+    assert np.array_equal(ledger.per_rank("hidden"), manual_ledger.per_rank("hidden"))
+
+
+def test_overlap_window_run_schedule_validation():
+    window = OverlapWindow(CostLedger(2), np.zeros(2), "hidden")
+    with pytest.raises(ValueError, match="one background stage"):
+        window.run_schedule([np.ones(2)], [])
+    with pytest.raises(ValueError, match="depth"):
+        window.run_schedule([np.ones(2)], [np.ones(2)], depth=0)
+    window.run_schedule([], [], depth=1)  # empty schedule is a no-op
+    window.push(np.ones(2))
+    with pytest.raises(ValueError, match="fresh"):
+        window.run_schedule([np.ones(2)], [np.ones(2)])
+
+
+def test_overlap_window_deeper_speculation_hides_no_less():
+    """Hidden seconds are monotone non-decreasing in the speculative depth."""
+    rng = np.random.default_rng(42)
+    nranks, blocks = 4, 10
+    fg = _random_stage_seconds(rng, blocks, nranks)
+    bg = [s * 0.4 for s in _random_stage_seconds(rng, blocks, nranks)]
+
+    def hidden_at(depth):
+        ledger = CostLedger(nranks)
+        OverlapWindow(ledger, np.zeros(nranks), "hidden").run_schedule(
+            fg, bg, depth=depth
+        )
+        return float(ledger.per_rank("hidden").sum())
+
+    values = [hidden_at(depth) for depth in (1, 2, 4, 8)]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:])), values
+
+
+def test_overlap_window_speculative_stage_does_not_block_slot():
+    """A drained speculative stage never re-enters a later slot's due work."""
+    ledger = CostLedger(1)
+    clock = np.zeros(1)
+    window = OverlapWindow(ledger, clock, "hidden")
+    # two tiny background stages both drain entirely behind one long
+    # foreground; the second slot then has nothing due and costs only its
+    # own foreground
+    window.push(np.array([1.0]))
+    window.push(np.array([1.0]))
+    window.foreground(np.array([5.0]), require_seq=0)
+    assert window.backlog_stages == 0
+    window.foreground(np.array([2.0]), require_seq=1)
+    assert clock[0] == 7.0
+    assert ledger.per_rank("hidden")[0] == 2.0
+
+
+def test_overlap_window_barrier_runs_remaining_alone():
+    ledger = CostLedger(2)
+    clock = np.zeros(2)
+    window = OverlapWindow(ledger, clock, "hidden")
+    window.push(np.array([2.0, 1.0]))
+    window.barrier(1)
+    assert clock.tolist() == [2.0, 1.0]
+    assert ledger.per_rank("hidden").tolist() == [0.0, 0.0]
+    window.push(np.array([3.0, 3.0]))
+    window.finish()
+    assert clock.tolist() == [5.0, 4.0]
 
 
 # ---------------------------------------------------------------- process grid
