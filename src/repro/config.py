@@ -62,6 +62,11 @@ class ReproConfig:
         persists the best sweep crossover via :func:`write_calibration` so
         the singleton (and therefore ``PastisParams``) picks it up on the
         next import.
+    cache_dir:
+        Default directory for the content-hashed stage cache
+        (:mod:`repro.core.engine.cache`).  ``None`` (the shipped default)
+        disables caching; runs opt in through ``PastisParams.cache_dir``,
+        which this value seeds.
     seed:
         Default RNG seed used by synthetic data generators.
     """
@@ -75,6 +80,7 @@ class ReproConfig:
     default_blocking: tuple[int, int] = field(default=(8, 8))
     spgemm_backend: str = DEFAULT_OVERLAP_KERNEL
     auto_compression_threshold: float = AUTO_COMPRESSION_THRESHOLD
+    cache_dir: str | None = None
     seed: int = 0
 
 
@@ -121,22 +127,46 @@ def load_calibration(path: str | Path | None = None) -> dict:
     return {key: float(value) for key, value in data.items()}
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    Readers never observe a partially written file: the payload lands in a
+    sibling ``<name>.tmp`` first and is renamed over the target only once
+    fully written.  If anything fails after the temp file exists — a full
+    disk mid-write, a failed ``os.replace`` — the temp file is unlinked
+    before the error propagates, so a crash cannot strand ``.tmp`` litter
+    next to the real file.  Shared by :func:`write_calibration` and the
+    stage cache's entry writer (:mod:`repro.core.engine.cache`).
+    """
+    p = Path(path)
+    tmp = p.with_name(p.name + ".tmp")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, p)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return p
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
 def write_calibration(values: dict, path: str | Path | None = None) -> Path:
     """Persist measured calibration overrides; returns the written path.
 
     ``values`` must only contain :data:`CALIBRATABLE_FIELDS`; the write is
     validated through the same rules :func:`load_calibration` applies, so a
     written calibration always round-trips.  The write is atomic (temp file
-    + rename), so a killed benchmark can never leave a truncated file
-    behind.
+    + rename via :func:`atomic_write_text`), so a killed benchmark can never
+    leave a truncated file — or a stranded ``.tmp`` — behind.
     """
     _validate_calibration(values)
     p = CALIBRATION_PATH if path is None else Path(path)
     payload = json.dumps({k: float(v) for k, v in values.items()}, indent=2) + "\n"
-    tmp = p.with_name(p.name + ".tmp")
-    tmp.write_text(payload)
-    os.replace(tmp, p)
-    return p
+    return atomic_write_text(p, payload)
 
 
 def calibrated_defaults(path: str | Path | None = None) -> ReproConfig:

@@ -40,11 +40,26 @@ stages, executed by pluggable schedulers:
   ``align + spgemm − overlap_hidden == combined clock`` holds for measured
   wall seconds exactly as it does for modeled ones.
 
+* :mod:`repro.core.engine.cache` — the content-hashed :class:`StageCache`,
+  the engine's analogue of the synpp/pisa declare-then-decide pipeline
+  design: stages *declare* what they depend on (the canonicalized parameter
+  subset, content digests of the operand stripes and input sequences, a
+  kernel/schema version tag — all folded into a deterministic per-block
+  key) and the framework *decides* what actually runs — a stored block is
+  replayed instead of recomputed.  The cache invariant is that a hit is
+  bit-identical to recomputation: an entry carries the block's outputs
+  *and* the absolute post-block ledger state of the discover lane, which
+  replay restores while the schedulers recharge their own categories
+  through the ordinary code paths; entries are therefore shareable across
+  all three schedulers, and ``PastisPipeline.run(resume=True)`` continues a
+  killed run from its last completed block.
+
 Schedulers — not the pipeline — own execution order and ledger charging;
 the pipeline builds the task list and hands it over.
 """
 
 from .accumulator import StreamingGraphAccumulator
+from .cache import CachedBlock, StageCache, build_stage_cache
 from .executor import ThreadedScheduler
 from .schedulers import (
     OverlappedScheduler,
@@ -60,12 +75,15 @@ __all__ = [
     "BlockRecord",
     "BlockTask",
     "BlockTiming",
+    "CachedBlock",
     "OverlappedScheduler",
     "ScheduleOutcome",
     "Scheduler",
     "SerialScheduler",
+    "StageCache",
     "StageContext",
     "StageTimeline",
+    "build_stage_cache",
     "StreamingGraphAccumulator",
     "ThreadedScheduler",
     "make_scheduler",

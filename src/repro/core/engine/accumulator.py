@@ -128,7 +128,14 @@ class StreamingGraphAccumulator:
 
     # ------------------------------------------------------------------ block life cycle
     def block_computed(self, nbytes: int) -> None:
-        """Register a freshly discovered block's output as live."""
+        """Register a freshly discovered block's output as live.
+
+        Blocks replayed from the stage cache go through the exact same
+        admission/registration/discard life cycle as computed ones (with the
+        stored ``block_bytes``), so live-block bounds, peak accounting and —
+        under the threaded executor — the admission gate behave identically
+        on warm and cold runs.
+        """
         with self._cond:
             if self._pending_admissions:
                 self._pending_admissions -= 1

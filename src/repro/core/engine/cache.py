@@ -1,0 +1,436 @@
+"""Content-hashed stage cache: skip recomputation without changing results.
+
+Following the declare-then-decide design of the synpp and pisa pipeline
+frameworks (stages declare their configuration and dependencies; the
+framework hashes both and decides what actually has to run), every
+:class:`~repro.core.engine.stages.BlockTask` gets a deterministic
+content-hash key and the completed block is persisted under it:
+
+* the **run key** hashes a canonicalized subset of
+  :class:`~repro.core.params.PastisParams` (only fields that influence what
+  a block computes or charges — scheduler/pre-blocking knobs are excluded,
+  so a cache written by one scheduler is readable by all three), a digest of
+  the input :class:`~repro.sequences.sequence.SequenceSet`, and a
+  kernel/schema :data:`CACHE_VERSION` tag combined with the package version
+  (bumping either invalidates everything);
+* the **block key** extends the run key with the block's coordinates, index
+  ranges, and content digests of the row/column operand stripes it consumes.
+
+A :class:`StageCache` stores one ``.npz`` file per completed block in a
+per-run directory, written atomically (temp file + rename via
+:func:`repro.config.atomic_write_bytes`, the same hardened helper the
+calibration writer uses), so a SIGKILL mid-run loses at most the in-flight
+block.  Unreadable or truncated entries are treated as misses, never as
+errors.
+
+**The cache invariant: a hit is bit-identical to recomputation.**  An entry
+records everything a block's execution produced *and* every externally
+visible side effect it had: the similar-pair edges, the per-rank timing and
+workload vectors, the block's :class:`~repro.sparse.spgemm.SpGemmStats`,
+and — crucially — the absolute post-block per-rank state of the ledger
+categories the discover stage charges ("comm", the measured compute
+category, and the flop/byte counters).  Replay *restores* those absolute
+vectors rather than re-adding per-block deltas, because float addition does
+not round-trip through subtraction; everything the schedulers charge
+themselves ("spgemm", "align", the overlap algebra) is recharged from the
+stored raw seconds through the ordinary scheduler code paths, which is what
+keeps the invariant intact across all three schedulers and makes entries
+scheduler-portable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ...config import atomic_write_bytes, atomic_write_text
+from ...distsparse.blocked_summa import BlockedSpGemm
+from ...distsparse.distmat import DistSparseMatrix
+from ...sequences.sequence import SequenceSet
+from ...sparse.spgemm import SpGemmStats
+from ...version import __version__
+from ..align_phase import EDGE_DTYPE, BlockAlignmentOutput
+from ..params import PastisParams
+
+#: Cache schema / kernel-suite version.  Bump whenever the on-disk entry
+#: layout changes or a kernel change makes previously stored results stale;
+#: combined with the package version into every key (see :func:`version_tag`).
+CACHE_VERSION = "1"
+
+#: Ledger counters charged exclusively by the discover lane (inside
+#: ``summa``); captured and restored per block alongside the lane's time
+#: categories ("comm" plus the engine's measured compute category).
+LANE_COUNTERS = ("spgemm_flops", "bytes_sent", "bytes_received")
+
+#: npz keys of the scalar entry fields (stored as 0-d arrays).
+_SCALAR_KEYS = (
+    "candidates",
+    "block_bytes",
+    "kernel_seconds",
+    "measured_align_seconds",
+    "discover_wall_seconds",
+    "stats_flops",
+    "stats_output_nnz",
+    "stats_intermediate_bytes",
+    "stats_row_groups",
+)
+
+#: npz keys of the per-rank array fields.
+_ARRAY_KEYS = (
+    "sparse_seconds_per_rank",
+    "align_seconds_per_rank",
+    "pairs_per_rank",
+    "cells_per_rank",
+)
+
+_LTIME_PREFIX = "ltime__"
+_LCOUNT_PREFIX = "lcount__"
+
+
+def version_tag() -> str:
+    """The kernel/backend version component of every cache key."""
+    return f"{CACHE_VERSION}:{__version__}"
+
+
+def lane_time_categories(compute_category: str) -> tuple[str, ...]:
+    """Ledger time categories the discover stage charges (the worker lane)."""
+    return ("comm", compute_category)
+
+
+# --------------------------------------------------------------------------- keys
+def _update_array(h, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    h.update(str(arr.dtype.str).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def _digest_matrix(matrix: np.ndarray) -> str:
+    h = hashlib.sha256()
+    _update_array(h, np.asarray(matrix))
+    return h.hexdigest()
+
+
+def params_cache_token(params: PastisParams) -> dict:
+    """Canonical dict of the parameter fields that determine block results.
+
+    Scheduler-selection knobs (``scheduler``, ``pre_blocking``,
+    ``preblock_depth``, ``preblock_workers``, ``use_threads``) are excluded
+    on purpose: results are bit-identical across schedulers, so entries must
+    be shareable across them.  The clustering stage runs after the stage
+    graph on its finished output, so ``cluster`` is excluded too.
+    """
+    br, bc = params.blocking_factors()
+    return {
+        "kmer_length": params.kmer_length,
+        "seed_alphabet": params.seed_alphabet,
+        "substitute_kmers": params.substitute_kmers,
+        "max_kmer_frequency": params.max_kmer_frequency,
+        "gap_open": params.gap_open,
+        "gap_extend": params.gap_extend,
+        "common_kmer_threshold": params.common_kmer_threshold,
+        "ani_threshold": params.ani_threshold,
+        "coverage_threshold": params.coverage_threshold,
+        "blocking": [br, bc],
+        "load_balancing": params.load_balancing,
+        "nodes": params.nodes,
+        "align_batch_size": params.align_batch_size,
+        "clock": params.clock,
+        "alignment_mode": params.alignment_mode,
+        "spgemm_backend": params.spgemm_backend,
+        "batch_flops": params.batch_flops,
+        "auto_compression_threshold": params.auto_compression_threshold,
+        "substitution_matrix": _digest_matrix(params.scoring.matrix),
+    }
+
+
+def sequence_digest(sequences: SequenceSet) -> str:
+    """Content digest of the input set (alignment depends on the residues
+    themselves, not just the derived k-mer matrix)."""
+    h = hashlib.sha256()
+    h.update(sequences.alphabet.name.encode())
+    _update_array(h, sequences.offsets)
+    _update_array(h, sequences.data)
+    return h.hexdigest()
+
+
+def stripe_digest(stripe: DistSparseMatrix) -> str:
+    """Content digest of one operand stripe (per-rank blocks + placement)."""
+    h = hashlib.sha256()
+    h.update(str(stripe.shape).encode())
+    for rank in range(stripe.grid.nprocs):
+        local = stripe.local(rank)
+        h.update(str(stripe.offsets(rank)).encode())
+        h.update(str(local.shape).encode())
+        _update_array(h, local.rows)
+        _update_array(h, local.cols)
+        _update_array(h, local.values)
+    return h.hexdigest()
+
+
+def run_cache_key(params: PastisParams, sequences: SequenceSet) -> str:
+    """Run-level key: version tag + canonical params + input digest."""
+    h = hashlib.sha256()
+    h.update(version_tag().encode())
+    h.update(json.dumps(params_cache_token(params), sort_keys=True).encode())
+    h.update(sequence_digest(sequences).encode())
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------------- entries
+@dataclass
+class CachedBlock:
+    """Everything needed to replay one completed block bit-identically."""
+
+    candidates: int
+    block_bytes: int
+    sparse_seconds_per_rank: np.ndarray
+    align_seconds_per_rank: np.ndarray
+    pairs_per_rank: np.ndarray
+    cells_per_rank: np.ndarray
+    edges: np.ndarray
+    kernel_seconds: float
+    measured_align_seconds: float
+    discover_wall_seconds: float
+    stats_flops: int
+    stats_output_nnz: int
+    stats_intermediate_bytes: int
+    stats_row_groups: int
+    #: absolute post-discover per-rank ledger state of the discover lane
+    ledger_times: dict[str, np.ndarray]
+    ledger_counters: dict[str, np.ndarray]
+
+    def spgemm_stats(self) -> SpGemmStats:
+        """The block's SpGEMM stats (compression factor is derived)."""
+        return SpGemmStats(
+            flops=self.stats_flops,
+            output_nnz=self.stats_output_nnz,
+            intermediate_bytes=self.stats_intermediate_bytes,
+            compression_factor=(
+                self.stats_flops / self.stats_output_nnz if self.stats_output_nnz else 1.0
+            ),
+            row_groups=self.stats_row_groups,
+        )
+
+    def alignment_output(self) -> BlockAlignmentOutput:
+        """Reconstruct the align stage's output for the foreground replay."""
+        return BlockAlignmentOutput(
+            edges=self.edges,
+            pairs_aligned_per_rank=self.pairs_per_rank,
+            cells_per_rank=self.cells_per_rank,
+            align_seconds_per_rank=self.align_seconds_per_rank,
+            kernel_seconds=self.kernel_seconds,
+            measured_seconds=self.measured_align_seconds,
+        )
+
+    # ------------------------------------------------------------------ serialization
+    def to_bytes(self) -> bytes:
+        buffer = io.BytesIO()
+        payload = {
+            "candidates": np.int64(self.candidates),
+            "block_bytes": np.int64(self.block_bytes),
+            "kernel_seconds": np.float64(self.kernel_seconds),
+            "measured_align_seconds": np.float64(self.measured_align_seconds),
+            "discover_wall_seconds": np.float64(self.discover_wall_seconds),
+            "stats_flops": np.int64(self.stats_flops),
+            "stats_output_nnz": np.int64(self.stats_output_nnz),
+            "stats_intermediate_bytes": np.int64(self.stats_intermediate_bytes),
+            "stats_row_groups": np.int64(self.stats_row_groups),
+            "sparse_seconds_per_rank": self.sparse_seconds_per_rank,
+            "align_seconds_per_rank": self.align_seconds_per_rank,
+            "pairs_per_rank": self.pairs_per_rank,
+            "cells_per_rank": self.cells_per_rank,
+            "edges": self.edges,
+        }
+        for cat, values in self.ledger_times.items():
+            payload[_LTIME_PREFIX + cat] = values
+        for cnt, values in self.ledger_counters.items():
+            payload[_LCOUNT_PREFIX + cnt] = values
+        np.savez(buffer, **payload)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, nranks: int) -> "CachedBlock":
+        """Parse a stored entry; raises on any malformation (callers treat
+        every failure as a cache miss)."""
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            files = set(npz.files)
+            missing = (set(_SCALAR_KEYS) | set(_ARRAY_KEYS) | {"edges"}) - files
+            if missing:
+                raise ValueError(f"cache entry missing fields: {sorted(missing)}")
+            arrays = {key: npz[key] for key in _ARRAY_KEYS}
+            for key, arr in arrays.items():
+                if arr.shape != (nranks,):
+                    raise ValueError(
+                        f"cache entry field {key!r} has shape {arr.shape}, "
+                        f"expected ({nranks},)"
+                    )
+            edges = npz["edges"]
+            if edges.dtype != EDGE_DTYPE:
+                raise ValueError(f"cache entry edges have dtype {edges.dtype}")
+            times: dict[str, np.ndarray] = {}
+            counters: dict[str, np.ndarray] = {}
+            for key in files:
+                if key.startswith(_LTIME_PREFIX):
+                    times[key[len(_LTIME_PREFIX):]] = npz[key]
+                elif key.startswith(_LCOUNT_PREFIX):
+                    counters[key[len(_LCOUNT_PREFIX):]] = npz[key]
+            for name, vec in {**times, **counters}.items():
+                if vec.shape != (nranks,):
+                    raise ValueError(
+                        f"cache entry ledger vector {name!r} has shape {vec.shape}"
+                    )
+            return cls(
+                candidates=int(npz["candidates"]),
+                block_bytes=int(npz["block_bytes"]),
+                sparse_seconds_per_rank=arrays["sparse_seconds_per_rank"],
+                align_seconds_per_rank=arrays["align_seconds_per_rank"],
+                pairs_per_rank=arrays["pairs_per_rank"],
+                cells_per_rank=arrays["cells_per_rank"],
+                edges=edges,
+                kernel_seconds=float(npz["kernel_seconds"]),
+                measured_align_seconds=float(npz["measured_align_seconds"]),
+                discover_wall_seconds=float(npz["discover_wall_seconds"]),
+                stats_flops=int(npz["stats_flops"]),
+                stats_output_nnz=int(npz["stats_output_nnz"]),
+                stats_intermediate_bytes=int(npz["stats_intermediate_bytes"]),
+                stats_row_groups=int(npz["stats_row_groups"]),
+                ledger_times=times,
+                ledger_counters=counters,
+            )
+
+
+# --------------------------------------------------------------------------- cache
+@dataclass
+class StageCache:
+    """Disk-backed per-block result cache consulted by every scheduler.
+
+    ``keys`` maps block coordinates to their content-hash keys (computed
+    once per run by :func:`build_stage_cache`).  ``read=False`` (the
+    ``cache_invalidate`` knob) skips lookups and overwrites entries;
+    ``write=False`` makes the cache read-only.  Lookup/store counters are
+    thread-safe — the threaded executor loads entries on worker threads
+    while the main thread stores completed blocks.
+    """
+
+    directory: Path
+    keys: dict[tuple[int, int], str]
+    nranks: int
+    read: bool = True
+    write: bool = True
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def entry_path(self, block: tuple[int, int]) -> Path:
+        r, c = block
+        return self.directory / f"block-r{r}-c{c}-{self.keys[block][:16]}.npz"
+
+    def load(self, block: tuple[int, int]) -> CachedBlock | None:
+        """The stored entry for a block, or ``None`` (miss).
+
+        A corrupted, truncated or otherwise unreadable entry is a miss, not
+        an error: the block simply recomputes (and the store overwrites the
+        bad file).
+        """
+        if not self.read:
+            return None
+        entry: CachedBlock | None = None
+        path = self.entry_path(block)
+        try:
+            entry = CachedBlock.from_bytes(path.read_bytes(), self.nranks)
+        except FileNotFoundError:
+            entry = None
+        except Exception:
+            # unreadable/corrupt entry: recompute rather than crash
+            entry = None
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return entry
+
+    def store(self, block: tuple[int, int], entry: CachedBlock) -> None:
+        """Persist a completed block atomically (temp file + rename)."""
+        if not self.write:
+            return
+        atomic_write_bytes(self.entry_path(block), entry.to_bytes())
+        with self._lock:
+            self.stores += 1
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss/store counts for ``stats.extras`` and run reports."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+def build_stage_cache(
+    params: PastisParams,
+    sequences: SequenceSet,
+    engine: BlockedSpGemm,
+    *,
+    read: bool = True,
+    write: bool = True,
+) -> StageCache:
+    """Key every block of the run and open (or create) its cache directory.
+
+    Row/column stripe digests are computed once per block row/column — the
+    same stripes ``compute_block`` re-slices per block — so a block's key
+    covers exactly the inputs it consumes.  A human-readable ``manifest.json``
+    (version tag + canonical params + input digest) is dropped next to the
+    entries for debuggability.
+    """
+    schedule = engine.schedule
+    run_key = run_cache_key(params, sequences)
+    row_digests = {
+        r: stripe_digest(engine.a.row_stripe(schedule.row_range(r)))
+        for r in range(schedule.br)
+    }
+    col_digests = {
+        c: stripe_digest(engine.b.col_stripe(schedule.col_range(c)))
+        for c in range(schedule.bc)
+    }
+    keys: dict[tuple[int, int], str] = {}
+    for r in range(schedule.br):
+        for c in range(schedule.bc):
+            h = hashlib.sha256()
+            h.update(run_key.encode())
+            h.update(f"block:{r}:{c}".encode())
+            h.update(str(schedule.row_range(r)).encode())
+            h.update(str(schedule.col_range(c)).encode())
+            h.update(row_digests[r].encode())
+            h.update(col_digests[c].encode())
+            keys[(r, c)] = h.hexdigest()
+    directory = Path(params.cache_dir) / f"run-{run_key[:16]}"
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = directory / "manifest.json"
+    if not manifest.exists():
+        atomic_write_text(
+            manifest,
+            json.dumps(
+                {
+                    "version_tag": version_tag(),
+                    "params": params_cache_token(params),
+                    "sequence_digest": sequence_digest(sequences),
+                    "run_key": run_key,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+    return StageCache(
+        directory=directory,
+        keys=keys,
+        nranks=params.nodes,
+        read=read,
+        write=write,
+    )

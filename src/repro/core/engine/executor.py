@@ -66,24 +66,35 @@ class _Turnstile:
     the engine after worker ``j - 1`` has left it, so shared-state mutation
     order is identical to the serial schedule no matter how many pool
     threads exist.  The turn advances even when the holder raises, so an
-    error unwinds the lane instead of deadlocking it.
+    error unwinds the lane instead of deadlocking it; :meth:`abort` wakes
+    every worker still waiting for its turn during teardown, so a failed run
+    can join the pool without stranding parked threads.
     """
 
     def __init__(self) -> None:
         self._turn = 0
+        self._aborted = False
         self._cond = threading.Condition()
 
     @contextmanager
     def turn(self, ticket: int):
         with self._cond:
-            while self._turn != ticket:
+            while self._turn != ticket and not self._aborted:
                 self._cond.wait()
+            if self._aborted:
+                raise RuntimeError("discover turnstile aborted (run torn down)")
         try:
             yield
         finally:
             with self._cond:
                 self._turn += 1
                 self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Wake all waiters with an error (executor teardown)."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
 
 
 @dataclass
@@ -181,8 +192,15 @@ class ThreadedScheduler(Scheduler):
             raise
         finally:
             if failed:
-                # unblock any worker waiting for admission before joining
+                # a failed run must wake *every* lane a worker can be parked
+                # in before joining the pool: later-block workers may be
+                # blocked in the accumulator's admission gate (their blocks
+                # can never be drained once the main thread stops aligning)
+                # or still waiting for their discover turn — aborting only
+                # one lane would leave shutdown(wait=True) joining a thread
+                # that can never wake
                 ctx.accumulator.abort_admission()
+                turnstile.abort()
             pool.shutdown(wait=True, cancel_futures=True)
 
         # ---- derive the per-rank clock by replaying the executed schedule

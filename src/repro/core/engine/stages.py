@@ -22,6 +22,16 @@ Stages communicate through fields on the task; a stage may only run after
 its predecessor (asserted).  Schedulers decide *when* each stage of each
 task runs — the serial scheduler finishes a task before starting the next,
 the overlapped scheduler interleaves ``discover(b+1)`` with ``align(b)``.
+
+When the context carries a :class:`~repro.core.engine.cache.StageCache`,
+``discover`` first consults it: a hit replays the stored block — restoring
+the discover lane's ledger state, merging the stored SpGEMM stats, and
+turning the remaining stages into replays of the stored outputs — while the
+schedulers keep charging "spgemm"/"align"/overlap through their ordinary
+code paths, so a warm run stays bit-identical to the cold run that stored
+the entries.  A miss executes normally, captures the lane's post-block
+ledger snapshot, and stores the completed entry when ``accumulate``
+finishes the block.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ from ..filtering import drop_self_pairs, filter_common_kmers
 from ..load_balance import BlockKind, LoadBalancingScheme, classify_block
 from ..params import PastisParams
 from .accumulator import StreamingGraphAccumulator
+from .cache import LANE_COUNTERS, CachedBlock, StageCache, lane_time_categories
 
 
 @dataclass
@@ -84,6 +95,8 @@ class StageContext:
     schedule: BlockSchedule
     accumulator: StreamingGraphAccumulator
     stripe_seconds: float = 0.0
+    #: optional per-block result cache (None disables caching entirely)
+    cache: StageCache | None = None
 
 
 @dataclass
@@ -97,14 +110,24 @@ class BlockTask:
     candidates: list[CooMatrix] | None = field(default=None, repr=False)
     output: BlockAlignmentOutput | None = field(default=None, repr=False)
     record: BlockRecord | None = field(default=None, repr=False)
+    #: cache hit being replayed through the remaining stages (None on a miss)
+    cached: CachedBlock | None = field(default=None, repr=False)
+    #: post-discover ledger snapshot of a miss, pending store on completion
+    _capture: tuple | None = field(default=None, repr=False)
     #: wall-clock seconds the discover stage took (whatever thread ran it);
     #: what the threaded executor reports as the background lane's real time
     discover_wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------ stages
-    def discover(self, ctx: StageContext) -> OutputBlock:
-        """Compute this block via SUMMA and derive per-rank sparse seconds."""
-        assert self.block is None, "discover ran twice"
+    def discover(self, ctx: StageContext) -> OutputBlock | None:
+        """Compute this block via SUMMA (or replay it from the stage cache)."""
+        assert self.block is None and self.cached is None, "discover ran twice"
+        cache = ctx.cache
+        if cache is not None:
+            entry = cache.load((self.block_row, self.block_col))
+            if entry is not None:
+                self._replay_discover(ctx, entry)
+                return None
         block, self.discover_wall_seconds = time_call(
             ctx.engine.compute_block, self.block_row, self.block_col
         )
@@ -119,11 +142,38 @@ class BlockTask:
             sparse_seconds = np.asarray(block.result.compute_seconds_per_rank, dtype=float)
         self.block = block
         self.sparse_seconds = sparse_seconds
+        if cache is not None:
+            # absolute lane state *after* this block's discover: the entry
+            # restores (not re-adds) these vectors on replay, which is the
+            # only way the float sums stay bit-identical
+            times, counters = ctx.comm.ledger.snapshot(
+                lane_time_categories(ctx.engine.compute_category), LANE_COUNTERS
+            )
+            self._capture = (times, counters, block.stats)
         ctx.accumulator.block_computed(block.memory_bytes())
         return block
 
+    def _replay_discover(self, ctx: StageContext, entry: CachedBlock) -> None:
+        """Reproduce every side effect the cold discover had, from the entry.
+
+        Runs inside whatever ordering discipline the scheduler imposes on
+        discovers (the threaded executor's turnstile), so restores land in
+        block order exactly like the original charges did.
+        """
+        ctx.comm.ledger.restore(entry.ledger_times, entry.ledger_counters)
+        engine = ctx.engine
+        engine.total_stats = engine.total_stats.merge(entry.spgemm_stats())
+        engine.peak_block_bytes = max(engine.peak_block_bytes, entry.block_bytes)
+        self.cached = entry
+        self.sparse_seconds = entry.sparse_seconds_per_rank
+        self.discover_wall_seconds = entry.discover_wall_seconds
+        ctx.accumulator.block_computed(entry.block_bytes)
+
     def prune(self, ctx: StageContext) -> list[CooMatrix]:
         """Select the elements each rank will align."""
+        if self.cached is not None:
+            self.candidates = []
+            return self.candidates
         assert self.block is not None, "prune before discover"
         per_rank: list[CooMatrix] = []
         for rank_piece in self.block.result.per_rank:
@@ -136,12 +186,17 @@ class BlockTask:
 
     def align(self, ctx: StageContext) -> BlockAlignmentOutput:
         """Align the pruned candidates (ledger charging deferred to the scheduler)."""
+        if self.cached is not None:
+            self.output = self.cached.alignment_output()
+            return self.output
         assert self.candidates is not None, "align before prune"
         self.output = ctx.aligner.align_block(self.candidates, charge=False)
         return self.output
 
     def accumulate(self, ctx: StageContext) -> BlockRecord:
         """Stream edges out, snapshot the record, and discard the block."""
+        if self.cached is not None:
+            return self._accumulate_cached(ctx)
         assert self.block is not None and self.output is not None, "accumulate before align"
         block, output = self.block, self.output
         block_bytes = block.memory_bytes()
@@ -162,7 +217,57 @@ class BlockTask:
         )
         ctx.accumulator.consume(output.edges)
         ctx.accumulator.block_discarded(block_bytes)
+        if ctx.cache is not None and self._capture is not None:
+            times, counters, stats = self._capture
+            ctx.cache.store(
+                (self.block_row, self.block_col),
+                CachedBlock(
+                    candidates=self.record.candidates,
+                    block_bytes=block_bytes,
+                    sparse_seconds_per_rank=self.sparse_seconds,
+                    align_seconds_per_rank=output.align_seconds_per_rank,
+                    pairs_per_rank=output.pairs_aligned_per_rank,
+                    cells_per_rank=output.cells_per_rank,
+                    edges=output.edges,
+                    kernel_seconds=output.kernel_seconds,
+                    measured_align_seconds=output.measured_seconds,
+                    discover_wall_seconds=self.discover_wall_seconds,
+                    stats_flops=stats.flops,
+                    stats_output_nnz=stats.output_nnz,
+                    stats_intermediate_bytes=stats.intermediate_bytes,
+                    stats_row_groups=stats.row_groups,
+                    ledger_times=times,
+                    ledger_counters=counters,
+                ),
+            )
+            self._capture = None
         # drop the bulky stage products; the record and the streamed edges survive
         self.block = None
+        self.candidates = None
+        return self.record
+
+    def _accumulate_cached(self, ctx: StageContext) -> BlockRecord:
+        """The accumulate stage of a replayed block: same consumption order,
+        record rebuilt from the stored values (``kind`` is recomputed — it is
+        a pure function of the block's index ranges)."""
+        entry, output = self.cached, self.output
+        assert output is not None, "accumulate before align"
+        self.record = BlockRecord(
+            block_row=self.block_row,
+            block_col=self.block_col,
+            kind=classify_block(
+                ctx.schedule.row_range(self.block_row), ctx.schedule.col_range(self.block_col)
+            ),
+            candidates=entry.candidates,
+            aligned_pairs=output.pairs_aligned,
+            similar_pairs=int(output.edges.size),
+            sparse_seconds_per_rank=self.sparse_seconds,
+            align_seconds_per_rank=output.align_seconds_per_rank,
+            pairs_per_rank=output.pairs_aligned_per_rank,
+            cells_per_rank=output.cells_per_rank,
+            block_bytes=entry.block_bytes,
+        )
+        ctx.accumulator.consume(output.edges)
+        ctx.accumulator.block_discarded(entry.block_bytes)
         self.candidates = None
         return self.record

@@ -124,6 +124,19 @@ class PastisParams:
         Post-search clustering stage configuration
         (:class:`repro.graph.api.ClusterParams`); disabled by default, in
         which case the similarity graph remains the terminal output.
+    cache_dir:
+        Directory of the content-hashed stage cache
+        (:mod:`repro.core.engine.cache`).  When set, every completed block
+        is persisted under a deterministic content-hash key and later runs
+        with the same inputs/parameters replay stored blocks instead of
+        recomputing them — bit-identically, across all three schedulers —
+        which is also what makes ``PastisPipeline.run(resume=True)`` pick a
+        killed run up from its last completed block.  ``None`` (the default,
+        seeded from :data:`repro.config.DEFAULTS`) disables caching.
+    cache_invalidate:
+        Ignore existing cache entries and overwrite them with freshly
+        computed blocks (a forced re-population, e.g. after changing
+        something the key cannot see).  Only meaningful with ``cache_dir``.
     """
 
     kmer_length: int = 6
@@ -151,6 +164,8 @@ class PastisParams:
     batch_flops: int | None = None
     auto_compression_threshold: float = DEFAULTS.auto_compression_threshold
     cluster: ClusterParams = field(default_factory=ClusterParams)
+    cache_dir: str | None = DEFAULTS.cache_dir
+    cache_invalidate: bool = False
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -193,6 +208,13 @@ class PastisParams:
             )
         if self.auto_compression_threshold <= 0:
             raise ValueError("auto_compression_threshold must be positive")
+        if self.cache_dir is not None and not str(self.cache_dir).strip():
+            raise ValueError("cache_dir must be a non-empty path (or None)")
+        if self.cache_invalidate and self.cache_dir is None:
+            raise ValueError(
+                "cache_invalidate=True has no effect without cache_dir; "
+                "set cache_dir or drop the flag"
+            )
         if not isinstance(self.cluster, ClusterParams):
             raise ValueError("cluster must be a ClusterParams instance")
         self.cluster.validate()

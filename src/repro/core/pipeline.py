@@ -67,6 +67,7 @@ from .engine import (
     StreamingGraphAccumulator,
     make_scheduler,
 )
+from .engine.cache import StageCache, build_stage_cache
 from .engine.schedulers import OVERLAP_HIDDEN_CATEGORY
 from .kmer_matrix import KmerMatrixInfo, build_distributed_kmer_matrix
 from .params import PastisParams
@@ -104,9 +105,28 @@ class PastisPipeline:
         self.params = params if params is not None else PastisParams()
 
     # ------------------------------------------------------------------ public API
-    def run(self, sequences: SequenceSet) -> SearchResult:
-        """Search ``sequences`` against themselves and return the similarity graph."""
+    def run(self, sequences: SequenceSet, resume: bool = False) -> SearchResult:
+        """Search ``sequences`` against themselves and return the similarity graph.
+
+        With ``params.cache_dir`` set, every completed block is persisted in
+        the content-hashed stage cache and blocks whose entries already exist
+        are replayed instead of recomputed (bit-identically).  ``resume=True``
+        declares that a previous (possibly killed) run is being continued: it
+        requires a configured ``cache_dir`` and fails loudly otherwise —
+        stored blocks are skipped and execution continues from the first
+        missing one, so a SIGKILL loses at most the in-flight block.
+        """
         params = self.params
+        if resume and params.cache_dir is None:
+            raise ValueError(
+                "resume=True requires params.cache_dir: a resumable run needs "
+                "the stage cache the previous attempt wrote its blocks to"
+            )
+        if resume and params.cache_invalidate:
+            raise ValueError(
+                "resume=True reads the cache; cache_invalidate=True forces "
+                "recomputation — pick one"
+            )
         if len(sequences) < 2:
             raise ValueError("need at least two sequences to search")
         if not is_perfect_square(params.nodes):
@@ -159,6 +179,15 @@ class PastisPipeline:
         stripe_bytes_per_rank = (
             (a_dist.nnz / schedule.br + at_dist.nnz / schedule.bc) / comm.size * 20.0
         )
+        stage_cache: StageCache | None = None
+        if params.cache_dir is not None:
+            stage_cache = build_stage_cache(
+                params,
+                sequences,
+                engine,
+                read=not params.cache_invalidate,
+                write=True,
+            )
         ctx = StageContext(
             params=params,
             comm=comm,
@@ -169,6 +198,7 @@ class PastisPipeline:
             schedule=schedule,
             accumulator=accumulator,
             stripe_seconds=cost_model.sparse_traversal_seconds(stripe_bytes_per_rank),
+            cache=stage_cache,
         )
         # scheduler selection: no pre-blocking -> serial; pre-blocking on the
         # modeled clock at depth 1 -> the simulated overlapped scheduler with
@@ -282,6 +312,8 @@ class PastisPipeline:
                 "spgemm_row_groups": float(engine.total_stats.row_groups),
             },
         )
+        if stage_cache is not None:
+            stats.extras["cache"] = stage_cache.counters()
         if clustering is not None:
             stats.extras["clustering"] = {
                 **clustering.summary(),

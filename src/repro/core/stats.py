@@ -161,4 +161,12 @@ class SearchStats:
             f"  Alignment                     {self.imbalance_align_percent:.1f}",
             f"  Sparse                        {self.imbalance_sparse_percent:.1f}",
         ]
+        cache = self.extras.get("cache")
+        if isinstance(cache, dict):
+            lines += [
+                "Stage cache",
+                f"  Hits / misses                 {cache.get('hits', 0):,} / "
+                f"{cache.get('misses', 0):,}",
+                f"  Entries stored                {cache.get('stores', 0):,}",
+            ]
         return "\n".join(lines)

@@ -30,8 +30,17 @@ def _jsonable(value: Any) -> Any:
 
 
 def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    """A flat, JSON-serializable report of one run."""
+    """A flat, JSON-serializable report of one run.
+
+    Stage-cache hit/miss counters (``stats.extras["cache"]``, present when a
+    run had ``cache_dir`` configured) are additionally hoisted to flat
+    ``cache_hits``/``cache_misses`` keys so warm-vs-cold runs diff cleanly.
+    """
     report = _jsonable(stats.as_dict())
+    cache = report.get("cache")
+    if isinstance(cache, dict):
+        report.setdefault("cache_hits", cache.get("hits", 0))
+        report.setdefault("cache_misses", cache.get("misses", 0))
     if extra:
         report.update(_jsonable(extra))
     return report

@@ -282,6 +282,54 @@ class CostLedger:
         with self._lock:
             self._counters[counter] = self._counters[counter] + arr
 
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(
+        self, categories: tuple[str, ...], counters: tuple[str, ...] = ()
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Copy the absolute per-rank vectors of the named categories/counters.
+
+        One consistent cut under the lock, for replay-style consumers (the
+        stage cache records the ledger state a completed block left behind).
+        """
+        with self._lock:
+            times = {cat: self._time[cat].copy() for cat in categories}
+            counts = {cnt: self._counters[cnt].copy() for cnt in counters}
+        return times, counts
+
+    def restore(
+        self,
+        times: dict[str, np.ndarray],
+        counters: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Overwrite the named categories/counters with absolute per-rank vectors.
+
+        The inverse of :meth:`snapshot`: replaying a cached block *sets* the
+        lane's categories to the values the original execution left, rather
+        than re-adding per-block deltas — floating-point addition does not
+        round-trip through subtraction (``S0 + (S1 - S0) != S1`` in
+        general), so only absolute restoration keeps a warm run bit-identical
+        to the cold run that populated the cache.  Categories not named are
+        untouched, which is what makes a restore safe while other threads
+        charge disjoint categories.
+        """
+        with self._lock:
+            for cat, values in times.items():
+                arr = np.asarray(values, dtype=np.float64)
+                if arr.shape != (self.nranks,):
+                    raise ValueError(
+                        f"restore of category {cat!r} needs shape ({self.nranks},), "
+                        f"got {arr.shape}"
+                    )
+                self._time[cat] = arr.copy()
+            for cnt, values in (counters or {}).items():
+                arr = np.asarray(values, dtype=np.float64)
+                if arr.shape != (self.nranks,):
+                    raise ValueError(
+                        f"restore of counter {cnt!r} needs shape ({self.nranks},), "
+                        f"got {arr.shape}"
+                    )
+                self._counters[cnt] = arr.copy()
+
     # ------------------------------------------------------------------ queries
     def per_rank(self, category: str) -> np.ndarray:
         """Per-rank time vector for a category (zeros if never charged)."""

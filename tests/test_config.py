@@ -73,3 +73,40 @@ def test_calibrated_threshold_reaches_pipeline_params(tmp_path):
     defaults = config.calibrated_defaults(path)
     params = PastisParams(auto_compression_threshold=defaults.auto_compression_threshold)
     assert params.auto_compression_threshold == 1.75
+
+
+def test_failed_calibration_write_leaves_no_tmp_litter(tmp_path, monkeypatch):
+    """Regression: a failure between writing the temp file and renaming it
+    (full disk, permission error) used to strand ``calibration.json.tmp``
+    next to the target; the hardened writer unlinks it before re-raising."""
+    import os
+
+    path = tmp_path / "calibration.json"
+    config.write_calibration({"auto_compression_threshold": 2.0}, path)
+
+    def failing_replace(src, dst):
+        raise OSError("simulated rename failure")
+
+    monkeypatch.setattr(os, "replace", failing_replace)
+    with pytest.raises(OSError, match="simulated rename failure"):
+        config.write_calibration({"auto_compression_threshold": 9.0}, path)
+    monkeypatch.undo()
+
+    assert list(tmp_path.iterdir()) == [path]  # no .tmp stranded
+    # the previous contents survived the failed overwrite intact
+    assert config.load_calibration(path) == {"auto_compression_threshold": 2.0}
+
+
+def test_atomic_write_bytes_round_trip_and_cleanup(tmp_path, monkeypatch):
+    import os
+
+    target = tmp_path / "blob.bin"
+    assert config.atomic_write_bytes(target, b"payload") == target
+    assert target.read_bytes() == b"payload"
+    assert list(tmp_path.iterdir()) == [target]
+
+    monkeypatch.setattr(os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("boom")))
+    with pytest.raises(OSError, match="boom"):
+        config.atomic_write_bytes(target, b"new payload")
+    assert target.read_bytes() == b"payload"
+    assert list(tmp_path.iterdir()) == [target]

@@ -659,6 +659,85 @@ def test_accumulator_abort_admission_unblocks_waiters():
     assert len(errors) == 1
 
 
+def test_turnstile_abort_wakes_parked_turn_waiters():
+    """A worker parked for a turn whose predecessor will never run (e.g. its
+    future was cancelled during teardown) can only be freed by aborting the
+    turnstile itself — the admission gate's abort does not reach this lane."""
+    import threading
+
+    from repro.core.engine.executor import _Turnstile
+
+    turnstile = _Turnstile()
+    errors: list[Exception] = []
+    entered = threading.Event()
+
+    def parked():
+        try:
+            with turnstile.turn(5):  # tickets 0..4 will never run
+                entered.set()
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    worker = threading.Thread(target=parked)
+    worker.start()
+    turnstile.abort()
+    worker.join(timeout=5.0)
+    assert not worker.is_alive()
+    assert not entered.is_set()
+    assert len(errors) == 1 and "aborted" in str(errors[0])
+    # an aborted turnstile refuses new entrants too
+    with pytest.raises(RuntimeError, match="aborted"):
+        with turnstile.turn(0):
+            pass
+
+
+def test_threaded_discover_failure_propagates_without_deadlock(
+    small_seqs, fast_params, monkeypatch
+):
+    """Regression: a discover-lane failure must surface the original error
+    and tear the run down promptly.  Before the fix, teardown aborted only
+    the accumulator's admission gate; a later-block worker parked in the
+    determinism *turnstile* (waiting for the dead block's turn, which can
+    never come) left ``pool.shutdown(wait=True)`` joining a thread that
+    could never wake."""
+    import threading
+
+    from repro.distsparse.blocked_summa import BlockedSpGemm
+
+    calls = {"n": 0}
+    original = BlockedSpGemm.compute_block
+
+    def failing_compute(self, block_row, block_col):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("injected discover failure")
+        return original(self, block_row, block_col)
+
+    monkeypatch.setattr(BlockedSpGemm, "compute_block", failing_compute)
+    params = fast_params.replace(
+        num_blocks=6,
+        pre_blocking=True,
+        use_threads=True,
+        preblock_depth=3,
+        preblock_workers=3,
+    )
+    outcome: list[BaseException] = []
+
+    def run():
+        try:
+            PastisPipeline(params).run(small_seqs)
+        except BaseException as exc:  # noqa: BLE001 - the assertion target
+            outcome.append(exc)
+
+    runner = threading.Thread(target=run)
+    runner.start()
+    runner.join(timeout=60.0)
+    assert not runner.is_alive(), "failed threaded run deadlocked in teardown"
+    assert len(outcome) == 1
+    assert isinstance(outcome[0], RuntimeError)
+    assert "injected discover failure" in str(outcome[0])
+
+
 # ---------------------------------------------------------------- scheduler contract
 def test_make_scheduler_factory():
     assert isinstance(make_scheduler("serial"), SerialScheduler)
