@@ -40,6 +40,19 @@ stages, executed by pluggable schedulers:
   ``align + spgemm − overlap_hidden == combined clock`` holds for measured
   wall seconds exactly as it does for modeled ones.
 
+* :mod:`repro.core.engine.process_executor` — :class:`ProcessScheduler`,
+  the *GIL-free* variant of the threaded executor: discover lanes run in
+  worker **processes** (``fork``) that execute the SpGEMM stage against a
+  forked copy of the run state and ship the block's CSR/COO arrays back
+  zero-copy through ``multiprocessing.shared_memory`` segments, with a
+  small picklable header carrying stats and an ordered journal of ledger
+  events.  The parent replays every side effect strictly in block order
+  (the role the threaded turnstile plays), so records, edges, stats and
+  every deterministic ledger category stay bit-identical to
+  :class:`SerialScheduler` across depth and worker count, and the clock
+  closes through the same :class:`~repro.mpi.costmodel.OverlapWindow`
+  algebra.
+
 * :mod:`repro.core.engine.cache` — the content-hashed :class:`StageCache`,
   the engine's analogue of the synpp/pisa declare-then-decide pipeline
   design: stages *declare* what they depend on (the canonicalized parameter
@@ -56,11 +69,36 @@ stages, executed by pluggable schedulers:
 
 Schedulers — not the pipeline — own execution order and ledger charging;
 the pipeline builds the task list and hands it over.
+
+**Choosing a scheduler** (``PastisParams.scheduler``, or derived from
+``pre_blocking``/``clock``/``preblock_depth`` when ``None``):
+
+* ``"serial"`` — bulk-synchronous reference schedule.  Simplest, no
+  concurrency; the baseline every other scheduler is bit-identical to.
+* ``"overlapped"`` — §VI-C pre-blocking *simulated* on the modeled clock
+  with the paper's contention multipliers.  Choose it for paper-faithful
+  Table-I numbers; no real concurrency happens.
+* ``"threaded"`` — the schedule actually executed on a thread pool.
+  Choose it for measured-clock runs or depth > 1.  Real overlap is limited
+  by the GIL: it helps exactly when the discover lane spends its time in
+  NumPy kernels that release the GIL, and collapses when the lane is
+  dominated by pure-Python stage orchestration.
+* ``"process"`` — the same schedule with discover workers in *processes*
+  (shared-memory block transport).  The GIL does not apply, so overlap
+  survives Python-heavy discover work; costs fork + shm-mapping overhead
+  per block, so prefer ``"threaded"`` for tiny blocks and ``"process"``
+  when blocks are large enough to amortize it (see
+  ``benchmarks/bench_process_pool.py``).  Requires the ``fork`` start
+  method.
+
+All four produce bit-identical records, edges, stats and deterministic
+ledger categories; only wall-clock behavior differs.
 """
 
 from .accumulator import StreamingGraphAccumulator
 from .cache import CachedBlock, StageCache, build_stage_cache
 from .executor import ThreadedScheduler
+from .process_executor import ProcessScheduler
 from .schedulers import (
     OverlappedScheduler,
     ScheduleOutcome,
@@ -77,6 +115,7 @@ __all__ = [
     "BlockTiming",
     "CachedBlock",
     "OverlappedScheduler",
+    "ProcessScheduler",
     "ScheduleOutcome",
     "Scheduler",
     "SerialScheduler",

@@ -366,6 +366,22 @@ class StageCache:
         with self._lock:
             self.stores += 1
 
+    def note_hit(self) -> None:
+        """Record a hit observed elsewhere (e.g. in a worker process).
+
+        The process executor's workers consult their *forked copies* of the
+        cache, whose counters the parent never sees; the parent mirrors each
+        worker-side lookup through :meth:`note_hit`/:meth:`note_miss` so
+        ``counters()`` reports the same numbers every other scheduler would.
+        """
+        with self._lock:
+            self.hits += 1
+
+    def note_miss(self) -> None:
+        """Record a miss observed elsewhere (see :meth:`note_hit`)."""
+        with self._lock:
+            self.misses += 1
+
     def counters(self) -> dict[str, int]:
         """Hit/miss/store counts for ``stats.extras`` and run reports."""
         with self._lock:
@@ -434,3 +450,172 @@ def build_stage_cache(
         read=read,
         write=write,
     )
+
+
+# --------------------------------------------------------------------------- maintenance CLI
+#
+# ``python -m repro.core.engine.cache ls|gc`` — the operational counterpart of
+# the cache: long-lived cache directories accumulate run directories whose
+# inputs no longer exist, and a resumable-run workflow needs a way to see and
+# bound what is on disk without poking at the file layout by hand.
+
+
+def list_cache(cache_dir: str | Path) -> list[dict]:
+    """Inventory of a cache directory: one row per run directory.
+
+    Each row reports the run directory name, its entry count, total entry
+    bytes, and the age in seconds of its oldest and newest entries (ages are
+    ``None`` for a run directory holding only a manifest).
+    """
+    import time
+
+    now = time.time()
+    rows: list[dict] = []
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return rows
+    for run_dir in sorted(p for p in root.iterdir() if p.is_dir() and p.name.startswith("run-")):
+        entries = sorted(run_dir.glob("block-*.npz"))
+        mtimes = [entry.stat().st_mtime for entry in entries]
+        rows.append(
+            {
+                "run": run_dir.name,
+                "entries": len(entries),
+                "bytes": sum(entry.stat().st_size for entry in entries),
+                "oldest_age_seconds": (now - min(mtimes)) if mtimes else None,
+                "newest_age_seconds": (now - max(mtimes)) if mtimes else None,
+            }
+        )
+    return rows
+
+
+def gc_cache(
+    cache_dir: str | Path,
+    max_age_days: float | None = None,
+    max_bytes: int | None = None,
+    dry_run: bool = False,
+) -> dict:
+    """Collect cache entries by age and/or total-size budget.
+
+    Entries older than ``max_age_days`` are removed first; if the surviving
+    total still exceeds ``max_bytes``, further entries are removed oldest
+    first until the budget holds.  Run directories left without entries are
+    removed along with their manifest.  Returns a summary dict with the
+    removed/kept entry counts and bytes (``dry_run=True`` only reports).
+    """
+    import time
+
+    now = time.time()
+    root = Path(cache_dir)
+    entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+    if root.is_dir():
+        for run_dir in root.iterdir():
+            if run_dir.is_dir() and run_dir.name.startswith("run-"):
+                for entry in run_dir.glob("block-*.npz"):
+                    stat = entry.stat()
+                    entries.append((stat.st_mtime, stat.st_size, entry))
+    entries.sort()  # oldest first
+    doomed: list[tuple[float, int, Path]] = []
+    kept = list(entries)
+    if max_age_days is not None:
+        cutoff = now - max_age_days * 86400.0
+        doomed = [item for item in kept if item[0] < cutoff]
+        kept = [item for item in kept if item[0] >= cutoff]
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in kept)
+        while kept and total > max_bytes:
+            item = kept.pop(0)  # oldest survivor goes first
+            doomed.append(item)
+            total -= item[1]
+    if not dry_run:
+        emptied: set[Path] = set()
+        for _, _, path in doomed:
+            path.unlink(missing_ok=True)
+            emptied.add(path.parent)
+        for run_dir in emptied:
+            if not any(run_dir.glob("block-*.npz")):
+                (run_dir / "manifest.json").unlink(missing_ok=True)
+                try:
+                    run_dir.rmdir()
+                except OSError:
+                    pass  # something else lives there; leave it
+    return {
+        "removed_entries": len(doomed),
+        "removed_bytes": sum(size for _, size, _ in doomed),
+        "kept_entries": len(kept),
+        "kept_bytes": sum(size for _, size, _ in kept),
+        "dry_run": dry_run,
+    }
+
+
+def _format_age(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.core.engine.cache ls|gc`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.engine.cache",
+        description="Inspect and garbage-collect the content-hashed stage cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    ls_parser = sub.add_parser("ls", help="list run directories with sizes and ages")
+    ls_parser.add_argument("cache_dir", help="cache directory (PastisParams.cache_dir)")
+    gc_parser = sub.add_parser("gc", help="remove entries by age and/or size budget")
+    gc_parser.add_argument("cache_dir", help="cache directory (PastisParams.cache_dir)")
+    gc_parser.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="remove entries older than this many days",
+    )
+    gc_parser.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="remove oldest entries until the total is under this many bytes",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed, remove nothing"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "ls":
+        rows = list_cache(args.cache_dir)
+        if not rows:
+            print(f"no run directories under {args.cache_dir}")
+            return 0
+        print(f"{'run':<42} {'entries':>7} {'bytes':>12} {'oldest':>7} {'newest':>7}")
+        for row in rows:
+            print(
+                f"{row['run']:<42} {row['entries']:>7} {row['bytes']:>12} "
+                f"{_format_age(row['oldest_age_seconds']):>7} "
+                f"{_format_age(row['newest_age_seconds']):>7}"
+            )
+        total_entries = sum(row["entries"] for row in rows)
+        total_bytes = sum(row["bytes"] for row in rows)
+        print(f"{'total':<42} {total_entries:>7} {total_bytes:>12}")
+        return 0
+
+    if args.max_age_days is None and args.max_bytes is None:
+        parser.error("gc needs --max-age-days and/or --max-bytes")
+    summary = gc_cache(
+        args.cache_dir,
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if summary["dry_run"] else "removed"
+    print(
+        f"{verb} {summary['removed_entries']} entries ({summary['removed_bytes']} bytes); "
+        f"kept {summary['kept_entries']} entries ({summary['kept_bytes']} bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -57,6 +57,9 @@ class ScheduleOutcome:
     kernel_seconds: float = 0.0
     measured_align_seconds: float = 0.0
     measured_discover_seconds: float = 0.0
+    #: scheduler-specific report entries merged into ``stats.extras`` by the
+    #: pipeline (e.g. the process executor's per-lane timings and shm bytes)
+    extras: dict = field(default_factory=dict)
 
     @property
     def candidates_discovered(self) -> int:
@@ -264,11 +267,11 @@ class OverlappedScheduler(Scheduler):
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Factory: ``"serial"``, ``"overlapped"`` or ``"threaded"``.
+    """Factory: ``"serial"``, ``"overlapped"``, ``"threaded"`` or ``"process"``.
 
-    Keyword arguments go to the scheduler — the threaded executor takes
-    ``depth`` (speculative discovery depth) and ``max_workers`` (discover
-    pool size).
+    Keyword arguments go to the scheduler — the threaded and process
+    executors take ``depth`` (speculative discovery depth) and
+    ``max_workers`` (discover pool size).
     """
     if name == "serial":
         return SerialScheduler(**kwargs)
@@ -278,6 +281,10 @@ def make_scheduler(name: str, **kwargs) -> Scheduler:
         from .executor import ThreadedScheduler  # circular-import guard
 
         return ThreadedScheduler(**kwargs)
+    if name == "process":
+        from .process_executor import ProcessScheduler  # circular-import guard
+
+        return ProcessScheduler(**kwargs)
     raise ValueError(
-        f"unknown scheduler {name!r}; available: serial, overlapped, threaded"
+        f"unknown scheduler {name!r}; available: serial, overlapped, threaded, process"
     )

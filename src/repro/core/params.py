@@ -72,16 +72,22 @@ class PastisParams:
         accumulator's admission gate.  ``1`` is classic pre-blocking.
         Ignored without ``pre_blocking``.
     preblock_workers:
-        Worker threads of the executor's discover pool (``None`` = 1).
-        The discover lane runs in block order by design, so one worker
-        carries it at full speed; the knob exists because thread count
-        must never change results (asserted in the engine tests).
+        Workers of the executor's discover pool (``None`` = 1) — threads
+        for ``scheduler="threaded"``, processes for ``scheduler="process"``.
+        The discover lane's results land in block order by design, so one
+        worker carries it at full speed; the knob exists because worker
+        count must never change results (asserted in the engine tests).
     scheduler:
-        Explicit scheduler override (``"serial"``, ``"overlapped"`` or
-        ``"threaded"``); ``None`` (default) derives the scheduler from
-        ``pre_blocking``/``clock``/``preblock_depth``.  Results are
-        bit-identical across schedulers — the override selects an
-        execution strategy, not a computation.
+        Explicit scheduler override (``"serial"``, ``"overlapped"``,
+        ``"threaded"`` or ``"process"``); ``None`` (default) derives the
+        scheduler from ``pre_blocking``/``clock``/``preblock_depth``.
+        ``"process"`` runs the discover lane in worker *processes* with the
+        block results shipped back through shared memory — the GIL-free
+        variant of ``"threaded"`` (see
+        :class:`~repro.core.engine.process_executor.ProcessScheduler`);
+        it requires the ``fork`` start method (Linux/macOS-with-fork).
+        Results are bit-identical across schedulers — the override selects
+        an execution strategy, not a computation.
     nodes:
         Number of virtual nodes / MPI ranks; must be a perfect square.
     align_batch_size:
@@ -201,10 +207,10 @@ class PastisParams:
             raise ValueError("preblock_depth must be >= 1")
         if self.preblock_workers is not None and self.preblock_workers < 1:
             raise ValueError("preblock_workers must be >= 1 (or None for auto-sizing)")
-        if self.scheduler not in (None, "serial", "overlapped", "threaded"):
+        if self.scheduler not in (None, "serial", "overlapped", "threaded", "process"):
             raise ValueError(
-                "scheduler must be None, 'serial', 'overlapped' or 'threaded', "
-                f"got {self.scheduler!r}"
+                "scheduler must be None, 'serial', 'overlapped', 'threaded' or "
+                f"'process', got {self.scheduler!r}"
             )
         if self.auto_compression_threshold <= 0:
             raise ValueError("auto_compression_threshold must be positive")

@@ -204,7 +204,8 @@ class PastisPipeline:
         # modeled clock at depth 1 -> the simulated overlapped scheduler with
         # the paper's contention multipliers; measured clock or speculative
         # depth > 1 -> the threaded executor (real worker-pool concurrency).
-        # params.scheduler overrides the derivation.
+        # params.scheduler overrides the derivation — "process" opts into the
+        # GIL-free process-pool executor (never derived: it needs fork).
         if params.scheduler is not None:
             scheduler_name = params.scheduler
         elif not params.pre_blocking:
@@ -213,9 +214,9 @@ class PastisPipeline:
             scheduler_name = "threaded"
         else:
             scheduler_name = "overlapped"
-        if scheduler_name == "threaded":
+        if scheduler_name in ("threaded", "process"):
             scheduler = make_scheduler(
-                "threaded",
+                scheduler_name,
                 depth=params.preblock_depth,
                 max_workers=params.preblock_workers,
             )
@@ -312,6 +313,8 @@ class PastisPipeline:
                 "spgemm_row_groups": float(engine.total_stats.row_groups),
             },
         )
+        # scheduler-specific report entries (process-lane timings, shm bytes)
+        stats.extras.update(outcome.extras)
         if stage_cache is not None:
             stats.extras["cache"] = stage_cache.counters()
         if clustering is not None:

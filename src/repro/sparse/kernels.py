@@ -26,6 +26,16 @@ The package ships three interchangeable SpGEMM kernels:
     invocation via the ``compression_threshold`` keyword (plumbed from
     ``PastisParams.auto_compression_threshold`` by the pipeline).
 
+``"gustavson-numba"``
+    The compiled scalar SPA Gustavson kernel
+    (:func:`repro.sparse.gustavson_numba.spgemm_gustavson_numba`).  Only
+    registered when numba is importable (install the ``[fast]`` extra);
+    supports the ``plus_times`` and ``overlap`` semirings and is
+    bit-identical to ``"gustavson"`` — same flop-bounded row grouping, same
+    ascending-inner-index enumeration, strict left-to-right accumulation —
+    while replacing the per-group sort with an ``O(flops)`` dense sparse
+    accumulator.  The raw-speed backend for process-pool discover lanes.
+
 ``"scipy"``
     :func:`spgemm_scipy`, wrapping ``scipy.sparse``'s C++ CSR matmul.  Only
     registered when SciPy is importable, and only supports the plain
@@ -72,6 +82,11 @@ try:  # the scipy backend is registered only when scipy is importable
     import scipy.sparse as _scipy_sparse
 except ImportError:  # pragma: no cover - exercised on scipy-free installs
     _scipy_sparse = None
+
+try:  # the compiled backend is registered only when numba is importable
+    from .gustavson_numba import spgemm_gustavson_numba
+except ImportError:  # pragma: no cover - exercised on numba-free installs
+    spgemm_gustavson_numba = None
 
 #: Signature shared by all SpGEMM backends.
 SpGemmKernel = Callable[..., object]
@@ -344,3 +359,5 @@ register_kernel("gustavson", spgemm_gustavson)
 register_kernel("auto", spgemm_auto)
 if _scipy_sparse is not None:
     register_kernel("scipy", spgemm_scipy)
+if spgemm_gustavson_numba is not None:
+    register_kernel("gustavson-numba", spgemm_gustavson_numba)

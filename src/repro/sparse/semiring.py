@@ -71,18 +71,37 @@ class Semiring:
         return f"{type(self).__name__}()"
 
 
+#: Strictly sequential prefix-sum primitive.  ``np.ufunc.accumulate`` is
+#: defined (and implemented) as a left-to-right recurrence, so every prefix
+#: carries the exact association a scalar ``acc += v`` loop would produce.
+#: Module-level so the regression test in ``tests/test_semiring.py`` can
+#: instrument the padded work actually performed.
+_accumulate = np.add.accumulate
+
+
 def sequential_segment_sum(values: np.ndarray, group_starts: np.ndarray) -> np.ndarray:
     """Per-group sums with *strict left-to-right* float association.
 
     ``np.add.reduceat`` accumulates with SIMD partial sums, so its result
     depends on how the loop happens to be vectorized; a scalar kernel (such
     as SciPy's C++ CSR matmul, which does ``sums[k] += v`` in generation
-    order) rounds differently at the ULP level.  This helper instead adds
+    order) rounds differently at the ULP level.  This helper instead sums
     each group's elements one at a time, left to right — the association
-    every scalar accumulator uses — while staying vectorized *across*
-    groups: round ``o`` adds element ``o`` of every group that still has
-    one, so the cost is ``O(total x max_group_size / simd_width)`` and small
-    whenever groups are (as for pruned MCL iterates) bounded.
+    every scalar accumulator uses.
+
+    Implementation: groups are bucketed into power-of-two width classes
+    (class ``w`` holds groups with ``w/2 < count <= w``).  Each class
+    gathers its groups into a padded ``(n_groups, w)`` table (padding
+    zeroed), runs ``np.add.accumulate`` along the rows — a strictly
+    sequential recurrence, so prefix ``count - 1`` is exactly the
+    left-to-right sum of the group — and scatters that prefix back.  A
+    group of ``s`` elements occupies at most ``2s`` padded cells, so the
+    total work is ``O(2 x total)`` regardless of how skewed the group sizes
+    are, with only ``O(log max_group_size)`` NumPy dispatches.  (The
+    previous implementation looped ``max_group_size`` times over *all*
+    groups — ``O(total x max_group_size)`` under pathological compression
+    factors; ``test_sequential_segment_sum_pathological_cost`` pins the new
+    bound.)
 
     This is what makes the plain arithmetic semiring bit-identical across
     every registered SpGEMM backend *including* the SciPy wrapper
@@ -91,12 +110,28 @@ def sequential_segment_sum(values: np.ndarray, group_starts: np.ndarray) -> np.n
     values = np.asarray(values, dtype=np.float64)
     group_starts = np.asarray(group_starts, dtype=np.int64)
     counts = np.diff(np.concatenate([group_starts, [values.size]]))
-    out = values[group_starts].copy()
+    out = np.empty(group_starts.size, dtype=np.float64)
     if counts.size == 0:
         return out
-    for offset in range(1, int(counts.max())):
-        mask = counts > offset
-        out[mask] += values[group_starts[mask] + offset]
+    max_count = int(counts.max())
+    lower = 0  # exclusive lower bound of the current width class
+    width = 1
+    while lower < max_count:
+        in_class = (counts > lower) & (counts <= width)
+        if in_class.any():
+            starts = group_starts[in_class]
+            class_counts = counts[in_class]
+            cols = np.arange(width, dtype=np.int64)
+            # groups are contiguous runs, so the gather is starts + cols;
+            # clip keeps padding cells of the final group in bounds
+            table = values[np.minimum(starts[:, None] + cols[None, :], values.size - 1)]
+            # zero the padding so stray values past a group's end can never
+            # overflow/warn; prefixes at column count-1 never read them
+            table[cols[None, :] >= class_counts[:, None]] = 0.0
+            prefix = _accumulate(table, axis=1)
+            out[in_class] = prefix[np.arange(starts.size), class_counts - 1]
+        lower = width
+        width *= 2
     return out
 
 

@@ -15,6 +15,8 @@ last completed block with results identical to an uncached reference.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -44,6 +46,11 @@ LEDGER_COUNTERS = (
 #: TIMING_AND_MEMORY_KEYS excludes from scheduler comparisons.
 NONDETERMINISTIC_STATS_KEYS = frozenset({"wall_seconds", "cache"})
 CONCURRENCY_STATS_KEYS = frozenset({"peak_live_blocks", "peak_live_block_bytes"})
+#: Process-scheduler-only extras: worker pids differ run to run, and a warm
+#: run ships cache entries over the pipe instead of shm segments.
+PROCESS_STATS_KEYS = frozenset(
+    {"process_lanes", "shm_peak_block_bytes", "shm_total_bytes"}
+)
 #: Measured wall-time aggregates: identical between cold and warm runs of
 #: the *same* cache (replay restores the stored seconds) but not between
 #: independent executions — skipped when comparing against an uncached
@@ -113,6 +120,12 @@ def assert_results_identical(cold, warm, *, skip_stats=frozenset(),
              "preblock_workers": 2},
             CONCURRENCY_STATS_KEYS,
             id="threaded-depth2",
+        ),
+        pytest.param(
+            {"pre_blocking": True, "scheduler": "process", "preblock_depth": 2,
+             "preblock_workers": 2},
+            CONCURRENCY_STATS_KEYS | PROCESS_STATS_KEYS,
+            id="process-depth2",
         ),
     ],
 )
@@ -324,6 +337,123 @@ def test_run_key_stable_and_sensitive(tiny_seqs):
 def test_cached_block_rejects_malformed_payload():
     with pytest.raises(Exception):
         cache_mod.CachedBlock.from_bytes(b"garbage", nranks=4)
+
+
+# ---------------------------------------------------------------------------
+# maintenance CLI: python -m repro.core.engine.cache ls|gc
+# ---------------------------------------------------------------------------
+
+
+def _age_entry(path, days: float) -> None:
+    """Backdate an entry's mtime by ``days`` (gc decides on mtime)."""
+    import os
+    import time
+
+    stamp = time.time() - days * 86400.0
+    os.utime(path, (stamp, stamp))
+
+
+def test_list_cache_inventories_run_directories(tmp_path, tiny_seqs):
+    assert cache_mod.list_cache(tmp_path / "missing") == []
+    params = _params(tmp_path)
+    PastisPipeline(params).run(tiny_seqs)
+    rows = cache_mod.list_cache(tmp_path / "cache")
+    assert len(rows) == 1
+    (row,) = rows
+    assert row["run"].startswith("run-")
+    assert row["entries"] == 4
+    entries = sorted((tmp_path / "cache").glob("run-*/block-*.npz"))
+    assert row["bytes"] == sum(e.stat().st_size for e in entries)
+    assert row["oldest_age_seconds"] >= row["newest_age_seconds"] >= 0.0
+
+
+def test_gc_cache_by_age_then_warm_run_recomputes_collected(tmp_path, tiny_seqs):
+    params = _params(tmp_path)
+    PastisPipeline(params).run(tiny_seqs)
+    entries = sorted((tmp_path / "cache").glob("run-*/block-*.npz"))
+    for entry in entries[:2]:
+        _age_entry(entry, days=30)
+
+    dry = cache_mod.gc_cache(tmp_path / "cache", max_age_days=7, dry_run=True)
+    assert dry == {
+        "removed_entries": 2,
+        "removed_bytes": sum(e.stat().st_size for e in entries[:2]),
+        "kept_entries": 2,
+        "kept_bytes": sum(e.stat().st_size for e in entries[2:]),
+        "dry_run": True,
+    }
+    assert all(e.exists() for e in entries)  # dry run removed nothing
+
+    summary = cache_mod.gc_cache(tmp_path / "cache", max_age_days=7)
+    assert summary["removed_entries"] == 2 and not summary["dry_run"]
+    assert [e.exists() for e in entries] == [False, False, True, True]
+    # a warm run replays the survivors and recomputes exactly the collected
+    warm = PastisPipeline(params).run(tiny_seqs, resume=True)
+    assert warm.stats.extras["cache"] == {"hits": 2, "misses": 2, "stores": 2}
+
+
+def test_gc_cache_byte_budget_removes_oldest_first(tmp_path, tiny_seqs):
+    params = _params(tmp_path)
+    PastisPipeline(params).run(tiny_seqs)
+    entries = sorted((tmp_path / "cache").glob("run-*/block-*.npz"))
+    for index, entry in enumerate(entries):
+        _age_entry(entry, days=len(entries) - index)  # entries[0] oldest
+    keep = sum(e.stat().st_size for e in entries[2:])
+    summary = cache_mod.gc_cache(tmp_path / "cache", max_bytes=keep)
+    assert summary["removed_entries"] == 2
+    assert summary["kept_bytes"] == keep
+    assert [e.exists() for e in entries] == [False, False, True, True]
+
+
+def test_gc_cache_empties_and_removes_run_directory(tmp_path, tiny_seqs):
+    params = _params(tmp_path)
+    PastisPipeline(params).run(tiny_seqs)
+    (run_dir,) = [p for p in (tmp_path / "cache").iterdir() if p.is_dir()]
+    assert (run_dir / "manifest.json").exists()
+    summary = cache_mod.gc_cache(tmp_path / "cache", max_bytes=0)
+    assert summary["removed_entries"] == 4 and summary["kept_entries"] == 0
+    assert not run_dir.exists()  # manifest went with the last entry
+
+
+def test_cache_cli_main(tmp_path, tiny_seqs, capsys):
+    params = _params(tmp_path)
+    PastisPipeline(params).run(tiny_seqs)
+    cache_dir = str(tmp_path / "cache")
+
+    assert cache_mod.main(["ls", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "run-" in out and "total" in out
+
+    # gc without a policy is an argparse error, not a silent full wipe
+    with pytest.raises(SystemExit):
+        cache_mod.main(["gc", cache_dir])
+    capsys.readouterr()
+
+    assert cache_mod.main(["gc", cache_dir, "--max-bytes", "0", "--dry-run"]) == 0
+    assert "would remove 4 entries" in capsys.readouterr().out
+    assert cache_mod.main(["gc", cache_dir, "--max-bytes", "0"]) == 0
+    assert "removed 4 entries" in capsys.readouterr().out
+    assert cache_mod.main(["ls", cache_dir]) == 0
+    assert "no run directories" in capsys.readouterr().out
+
+
+def test_cache_cli_module_invocation(tmp_path):
+    """``python -m repro.core.engine.cache`` is wired as a console entry."""
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.core.engine.cache", "ls", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert "no run directories" in proc.stdout
 
 
 def test_report_hoists_cache_counters(tmp_path, tiny_seqs):

@@ -18,6 +18,7 @@ import pytest
 
 from repro.core.engine import (
     OverlappedScheduler,
+    ProcessScheduler,
     SerialScheduler,
     StreamingGraphAccumulator,
     ThreadedScheduler,
@@ -383,10 +384,10 @@ def test_predict_compression_factor_is_a_lower_bound():
 
 
 # ---------------------------------------------------------------- threaded executor
-def _stats_equal_modulo_timing(stats_a, stats_b):
-    assert set(stats_a) == set(stats_b)
+def _stats_equal_modulo_timing(stats_a, stats_b, ignore=frozenset()):
+    assert set(stats_a) - ignore == set(stats_b) - ignore
     for key, value in stats_a.items():
-        if key in TIMING_AND_MEMORY_KEYS:
+        if key in TIMING_AND_MEMORY_KEYS or key in ignore:
             continue
         if key.startswith("imbalance_"):
             assert stats_b[key] == pytest.approx(value, rel=1e-9), key
@@ -485,6 +486,188 @@ def test_threaded_scheduler_measured_clock_same_results(threaded_serial_baseline
     np.testing.assert_allclose(
         reconstructed, threaded.timeline.combined_per_rank, rtol=1e-9
     )
+
+
+# ---------------------------------------------------------------- process executor
+#: SearchStats extras only the process scheduler reports (per-lane process
+#: timings and shared-memory transport bytes) — excluded from cross-scheduler
+#: stats-identity comparisons, asserted separately below.
+PROCESS_EXTRAS_KEYS = frozenset(
+    {"process_lanes", "shm_peak_block_bytes", "shm_total_bytes"}
+)
+
+
+# acceptance: bit-identical records/edges/stats/ledger across depth {1, 2, 4}
+# x worker processes {1, 2, 4} — fork, shm transport and parent-ordered
+# replay may move work across processes, never change results
+@pytest.mark.parametrize("depth", [1, 2, 4])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_process_scheduler_bit_identical_to_serial(
+    depth, workers, threaded_serial_baseline
+):
+    seqs, serial = threaded_serial_baseline
+    process = _run(
+        seqs,
+        num_blocks=6,
+        pre_blocking=True,
+        preblock_depth=depth,
+        preblock_workers=workers,
+        scheduler="process",
+    )
+    assert process.scheduler == "process"
+    assert np.array_equal(
+        serial.similarity_graph.edges, process.similarity_graph.edges
+    )
+    _assert_records_equal(serial.block_records, process.block_records)
+    _stats_equal_modulo_timing(
+        serial.stats.as_dict(), process.stats.as_dict(), ignore=PROCESS_EXTRAS_KEYS
+    )
+    # parent-ordered replay of the workers' ledger journals makes the
+    # per-rank sums of every modeled category bit-identical to serial
+    for category in ("align", "spgemm", "comm", "cwait", "sparse_other", "io"):
+        assert np.array_equal(
+            serial.ledger.per_rank(category), process.ledger.per_rank(category)
+        ), category
+    # memory bound: at most depth + 1 blocks were ever live
+    assert process.stats.extras["peak_live_blocks"] <= depth + 1
+    # the process-specific extras are present and coherent
+    lanes = process.stats.extras["process_lanes"]
+    assert sum(lane["blocks"] for lane in lanes.values()) == 6
+    assert len(lanes) <= workers
+    assert process.stats.extras["shm_peak_block_bytes"] > 0
+    assert (
+        process.stats.extras["shm_total_bytes"]
+        >= process.stats.extras["shm_peak_block_bytes"]
+    )
+
+
+def test_process_scheduler_clock_identity_and_report(threaded_serial_baseline):
+    """The process schedule closes through the same depth-k overlap algebra."""
+    seqs, serial = threaded_serial_baseline
+    process = _run(
+        seqs, num_blocks=6, pre_blocking=True, preblock_depth=2, scheduler="process"
+    )
+    ledger = process.ledger
+    assert OVERLAP_HIDDEN_CATEGORY in ledger.categories()
+    reconstructed = (
+        ledger.per_rank("align")
+        + ledger.per_rank("spgemm")
+        - ledger.per_rank(OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(
+        reconstructed, process.timeline.combined_per_rank, rtol=1e-12
+    )
+    assert process.timeline.preblock_depth == 2
+    assert process.timeline.measured_phase_seconds > 0.0
+    report = process.preblocking_report
+    assert report is not None
+    assert report.combined_seconds_pre < report.sum_seconds
+    # the modeled clock is scheduler-independent: same combined clock as the
+    # threaded executor at the same depth
+    threaded = _run(
+        seqs, num_blocks=6, pre_blocking=True, preblock_depth=2, scheduler="threaded"
+    )
+    np.testing.assert_array_equal(
+        process.timeline.combined_per_rank, threaded.timeline.combined_per_rank
+    )
+
+
+def test_process_scheduler_measured_clock_same_results(threaded_serial_baseline):
+    """Under clock="measured" the process executor still matches serial."""
+    seqs, serial = threaded_serial_baseline
+    process = _run(
+        seqs,
+        num_blocks=6,
+        clock="measured",
+        pre_blocking=True,
+        preblock_depth=2,
+        preblock_workers=2,
+        scheduler="process",
+    )
+    assert process.scheduler == "process"
+    assert np.array_equal(
+        serial.similarity_graph.edges, process.similarity_graph.edges
+    )
+    ledger = process.ledger
+    reconstructed = (
+        ledger.per_rank("align")
+        + ledger.per_rank("spgemm")
+        - ledger.per_rank(OVERLAP_HIDDEN_CATEGORY)
+    )
+    np.testing.assert_allclose(
+        reconstructed, process.timeline.combined_per_rank, rtol=1e-9
+    )
+
+
+def test_process_worker_death_fails_fast_and_sweeps_shm(
+    small_seqs, fast_params, monkeypatch
+):
+    """Satellite acceptance: SIGKILL a discover worker mid-block; the run must
+    surface a clear error promptly (no deadlock on the broken pool) and leave
+    no shared-memory segment behind in /dev/shm."""
+    import glob
+    import os
+    import signal
+    import threading
+
+    from repro.distsparse.blocked_summa import BlockedSpGemm
+
+    calls = {"n": 0}  # forked per worker: counts that worker's blocks only
+    original = BlockedSpGemm.compute_block
+
+    def kamikaze(self, block_row, block_col):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(self, block_row, block_col)
+
+    # patch the class before run(): the pool forks after submission starts,
+    # so every worker inherits the kamikaze discover stage
+    monkeypatch.setattr(BlockedSpGemm, "compute_block", kamikaze)
+    params = fast_params.replace(
+        num_blocks=6,
+        pre_blocking=True,
+        scheduler="process",
+        preblock_depth=3,
+        preblock_workers=2,
+    )
+    outcome: list[BaseException] = []
+
+    def run():
+        try:
+            PastisPipeline(params).run(small_seqs)
+        except BaseException as exc:  # noqa: BLE001 - the assertion target
+            outcome.append(exc)
+
+    runner = threading.Thread(target=run)
+    runner.start()
+    runner.join(timeout=60.0)
+    assert not runner.is_alive(), "killed process run deadlocked in teardown"
+    assert len(outcome) == 1
+    assert isinstance(outcome[0], RuntimeError)
+    assert "discover worker died" in str(outcome[0])
+    # teardown hygiene: every segment the run created (or could have) is gone
+    assert glob.glob("/dev/shm/repro-psched-*") == []
+
+
+def test_process_worker_exception_propagates(small_seqs, fast_params, monkeypatch):
+    """An ordinary exception in a worker (not a crash) surfaces unchanged."""
+    from repro.distsparse.blocked_summa import BlockedSpGemm
+
+    original = BlockedSpGemm.compute_block
+
+    def failing(self, block_row, block_col):
+        raise ValueError("injected worker failure")
+
+    monkeypatch.setattr(BlockedSpGemm, "compute_block", failing)
+    params = fast_params.replace(
+        num_blocks=6, pre_blocking=True, scheduler="process", preblock_workers=2
+    )
+    with pytest.raises(ValueError, match="injected worker failure"):
+        PastisPipeline(params).run(small_seqs)
+    import glob
+
+    assert glob.glob("/dev/shm/repro-psched-*") == []
 
 
 def test_pipeline_scheduler_selection(small_seqs, fast_params):
@@ -747,8 +930,15 @@ def test_make_scheduler_factory():
     threaded = make_scheduler("threaded", depth=3, max_workers=2)
     assert isinstance(threaded, ThreadedScheduler)
     assert (threaded.depth, threaded.max_workers) == (3, 2)
+    process = make_scheduler("process", depth=2, max_workers=3)
+    assert isinstance(process, ProcessScheduler)
+    assert (process.depth, process.max_workers) == (2, 3)
     with pytest.raises(ValueError, match="depth"):
         make_scheduler("threaded", depth=0)
+    with pytest.raises(ValueError, match="depth"):
+        make_scheduler("process", depth=0)
+    with pytest.raises(ValueError, match="max_workers"):
+        make_scheduler("process", max_workers=0)
     with pytest.raises(ValueError, match="unknown scheduler"):
         make_scheduler("speculative")
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro.sparse.semiring as semiring_mod
 from repro.sparse.semiring import (
     ArithmeticSemiring,
     CountSemiring,
@@ -11,7 +12,85 @@ from repro.sparse.semiring import (
     OverlapSemiring,
     OVERLAP_DTYPE,
     Semiring,
+    sequential_segment_sum,
 )
+
+
+def _left_to_right_reference(values, group_starts):
+    """Scalar ``acc += v`` loop — the association contract being tested."""
+    values = np.asarray(values, dtype=np.float64)
+    ends = list(group_starts[1:]) + [values.size]
+    out = []
+    for start, end in zip(group_starts, ends):
+        acc = values[start]
+        for v in values[start + 1 : end]:
+            acc = acc + v
+        out.append(acc)
+    return np.array(out, dtype=np.float64)
+
+
+def _random_groups(rng, n_groups, max_size):
+    sizes = rng.integers(1, max_size + 1, n_groups)
+    group_starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    # magnitudes spread over many orders so association changes the bits
+    values = rng.standard_normal(int(sizes.sum())) * 10.0 ** rng.integers(
+        -8, 8, int(sizes.sum())
+    )
+    return values, group_starts
+
+
+def test_sequential_segment_sum_matches_scalar_loop_bitwise():
+    rng = np.random.default_rng(42)
+    for n_groups, max_size in [(1, 1), (7, 3), (50, 17), (200, 1)]:
+        values, group_starts = _random_groups(rng, n_groups, max_size)
+        got = sequential_segment_sum(values, group_starts)
+        want = _left_to_right_reference(values, group_starts)
+        # bitwise equality: left-to-right association exactly preserved
+        assert np.array_equal(got.view(np.uint64), want.view(np.uint64))
+
+
+def test_sequential_segment_sum_empty():
+    out = sequential_segment_sum(np.array([]), np.array([], dtype=np.int64))
+    assert out.size == 0
+
+
+def test_sequential_segment_sum_pathological_cost(monkeypatch):
+    """One huge group among many singletons: bit-identical, bounded work.
+
+    The pre-blocked implementation looped ``max_group_size`` times over all
+    groups — ``O(total x max_group_size)`` when one group dominates (the
+    pathological-compression-factor regime).  The width-class rewrite pads
+    each group to at most twice its size, so the cells actually touched by
+    the prefix sums stay within ``2 x total`` no matter how skewed the
+    distribution is.
+    """
+    rng = np.random.default_rng(7)
+    big = 4096
+    n_singletons = 4096
+    values = rng.standard_normal(big + n_singletons) * 10.0 ** rng.integers(
+        -6, 6, big + n_singletons
+    )
+    group_starts = np.concatenate(
+        [[0], big + np.arange(n_singletons, dtype=np.int64)]
+    )
+
+    padded_cells = 0
+    real_accumulate = semiring_mod._accumulate
+
+    def counting_accumulate(table, axis=0):
+        nonlocal padded_cells
+        padded_cells += table.size
+        return real_accumulate(table, axis=axis)
+
+    monkeypatch.setattr(semiring_mod, "_accumulate", counting_accumulate)
+    got = sequential_segment_sum(values, group_starts)
+    want = _left_to_right_reference(values, group_starts)
+    assert np.array_equal(got.view(np.uint64), want.view(np.uint64))
+    total = values.size
+    assert padded_cells <= 2 * total, (
+        f"blocked sum touched {padded_cells} cells for {total} values; "
+        "the 2x-total work bound regressed"
+    )
 
 
 def test_abstract_semiring_raises():

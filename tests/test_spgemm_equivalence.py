@@ -339,6 +339,101 @@ def test_auto_compression_threshold_plumbs_through_params():
         PastisParams(auto_compression_threshold=0.0)
 
 
+# ------------------------------------------------------------------ numba backend
+def _has_numba():
+    return "gustavson-numba" in available_kernels()
+
+
+def assert_numba_identical(a, b, semiring, batch_flops=None):
+    """The compiled backend against both NumPy kernels, field by field."""
+    from repro.sparse.gustavson_numba import spgemm_gustavson_numba
+
+    kwargs = {} if batch_flops is None else {"batch_flops": batch_flops}
+    c1, s1 = spgemm(a, b, semiring, return_stats=True)
+    c2, s2 = spgemm_gustavson(a, b, semiring, return_stats=True, **kwargs)
+    c3, s3 = spgemm_gustavson_numba(a, b, semiring, return_stats=True, **kwargs)
+    assert c3.shape == c1.shape
+    assert np.array_equal(c3.rows, c1.rows)
+    assert np.array_equal(c3.cols, c1.cols)
+    assert c3.values.dtype == c1.values.dtype
+    if c1.values.dtype.names:
+        for field in c1.values.dtype.names:
+            assert np.array_equal(c3.values[field], c1.values[field]), field
+    else:
+        assert np.array_equal(c3.values, c1.values)
+    assert s3.flops == s1.flops
+    assert s3.output_nnz == s1.output_nnz
+    assert s3.compression_factor == pytest.approx(s1.compression_factor)
+    # same flop-bounded grouping as the NumPy Gustavson kernel
+    assert s3.row_groups == s2.row_groups
+
+
+@pytest.mark.skipif(not _has_numba(), reason="numba not importable")
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("semiring", [ArithmeticSemiring(), OverlapSemiring()],
+                         ids=["arithmetic", "overlap"])
+def test_numba_random_cross_kernel_equivalence(seed, semiring):
+    a, b = _random_case(seed)
+    assert_numba_identical(a, b, semiring, batch_flops=97)
+
+
+@pytest.mark.skipif(not _has_numba(), reason="numba not importable")
+@pytest.mark.parametrize("semiring", [ArithmeticSemiring(), OverlapSemiring()],
+                         ids=["arithmetic", "overlap"])
+def test_numba_overlap_product_a_at_equivalence(semiring):
+    rng = np.random.default_rng(99)
+    a = random_coo(rng, (30, 120), 400)
+    assert_numba_identical(a, a.transpose(), semiring)
+    assert_numba_identical(a, a.transpose(), semiring, batch_flops=1)
+
+
+@pytest.mark.skipif(not _has_numba(), reason="numba not importable")
+@pytest.mark.parametrize(
+    "shape_a,shape_b",
+    [((0, 5), (5, 4)), ((4, 0), (0, 5)), ((5, 6), (6, 0)), ((0, 0), (0, 0))],
+)
+def test_numba_zero_dimension_edge_cases(shape_a, shape_b):
+    a = CooMatrix.empty(shape_a, dtype=np.int32)
+    b = CooMatrix.empty(shape_b, dtype=np.int32)
+    assert_numba_identical(a, b, ArithmeticSemiring())
+    assert_numba_identical(a, b, OverlapSemiring())
+
+
+@pytest.mark.skipif(not _has_numba(), reason="numba not importable")
+def test_numba_duplicate_coordinates_and_float_values():
+    # duplicates stay separate partial products in original input order
+    a = CooMatrix(
+        (2, 3), np.array([0, 0, 0]), np.array([1, 1, 2]),
+        np.array([10, 20, 30], dtype=np.int32),
+    )
+    b = CooMatrix(
+        (3, 2), np.array([1, 1, 2]), np.array([0, 0, 0]),
+        np.array([5, 6, 7], dtype=np.int32),
+    )
+    assert_numba_identical(a, b, OverlapSemiring(), batch_flops=1)
+    # float association: left-to-right accumulation matches the NumPy kernels
+    af, bf = _random_float_case(11)
+    assert_numba_identical(af, bf, ArithmeticSemiring(), batch_flops=131)
+
+
+@pytest.mark.skipif(not _has_numba(), reason="numba not importable")
+def test_numba_registry_and_semiring_declaration():
+    from repro.sparse.gustavson_numba import spgemm_gustavson_numba
+    from repro.sparse.kernels import kernel_supports_batch_flops, kernel_supports_semiring
+
+    assert get_kernel("gustavson-numba") is spgemm_gustavson_numba
+    assert kernel_supports_batch_flops(spgemm_gustavson_numba)
+    assert kernel_supports_semiring(spgemm_gustavson_numba, ArithmeticSemiring())
+    assert kernel_supports_semiring(spgemm_gustavson_numba, OverlapSemiring())
+    from repro.sparse.semiring import MinPlusSemiring
+
+    assert not kernel_supports_semiring(spgemm_gustavson_numba, MinPlusSemiring())
+    with pytest.raises(ValueError, match="semiring"):
+        spgemm_gustavson_numba(
+            CooMatrix.empty((2, 2)), CooMatrix.empty((2, 2)), MinPlusSemiring()
+        )
+
+
 # ------------------------------------------------------------------ registry
 def test_registry_lookup_and_default():
     assert set(available_kernels()) >= {"expand", "gustavson"}
