@@ -93,6 +93,34 @@ the pipeline builds the task list and hands it over.
 
 All four produce bit-identical records, edges, stats and deterministic
 ledger categories; only wall-clock behavior differs.
+
+**Observability** (``PastisParams.trace`` / ``trace_dir``; see
+:mod:`repro.trace`): every scheduler emits spans through the optional
+``StageContext.trace`` recorder, and each span category maps onto one of
+the mechanisms above —
+
+* ``stage`` spans (``discover``/``prune``/``align``/``accumulate``) — the
+  four :class:`BlockTask` stages, wherever they execute (main thread,
+  pool thread, or worker process);
+* ``cache`` spans (``cache_load``/``cache_replay``) — the
+  :class:`StageCache` consult and the bit-identical replay of a hit;
+* ``wait`` spans — the concurrency gates: ``admission_wait`` is time
+  blocked in the accumulator's ``admit_block`` admission gate (the
+  ``k + 1`` live-block memory bound), ``turnstile_wait`` is a threaded
+  worker waiting its turn in the ``_Turnstile`` determinism gate;
+* ``summa`` spans (``summa_stage``/``summa_merge``) — the broadcast
+  stages inside one discover's 2D SUMMA;
+* ``transport``/``replay`` spans (``shm_ship``/``ledger_replay``) — the
+  process executor's shared-memory shipping and the parent's block-ordered
+  journal replay;
+* counter series (live blocks, ``ledger.<category>`` totals, shm bytes,
+  cache hits) are sampled once per block at the accumulate boundary.
+
+Serial/Overlapped/Threaded record directly into the run's recorder; the
+process executor's workers journal spans into the block header (the same
+pattern as their ledger journal) and the parent merges them in block
+order with worker-pid attribution.  Tracing is off by default, zero-cost
+when disabled, and non-perturbing: results stay bit-identical with it on.
 """
 
 from .accumulator import StreamingGraphAccumulator

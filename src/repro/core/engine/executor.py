@@ -40,6 +40,7 @@ overlapped scheduler and distributed MCL use — so the ledger invariant
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ import numpy as np
 
 from ...metrics.timers import Timer
 from ...mpi.costmodel import OverlapWindow
+from ...trace import maybe_span
 from .schedulers import (
     OVERLAP_HIDDEN_CATEGORY,
     ScheduleOutcome,
@@ -77,12 +79,21 @@ class _Turnstile:
         self._cond = threading.Condition()
 
     @contextmanager
-    def turn(self, ticket: int):
+    def turn(self, ticket: int, trace=None, block: tuple[int, int] | None = None):
+        """Hold ticket ``ticket``'s turn.  With ``trace`` set, the waiting
+        portion (entry to admission) is recorded as a ``turnstile_wait``
+        span on the calling worker thread."""
+        t0 = time.perf_counter() if trace is not None else 0.0
         with self._cond:
             while self._turn != ticket and not self._aborted:
                 self._cond.wait()
             if self._aborted:
                 raise RuntimeError("discover turnstile aborted (run torn down)")
+        if trace is not None:
+            trace.add_span(
+                "turnstile_wait", "wait", t0, time.perf_counter(),
+                lane="discover", block=block,
+            )
         try:
             yield
         finally:
@@ -148,8 +159,12 @@ class ThreadedScheduler(Scheduler):
             # ordered lane: admission and engine entry happen inside the
             # turn, so slots are granted oldest-block-first and all shared
             # state mutates in serial-schedule order
-            with turnstile.turn(index):
-                ctx.accumulator.admit_block()
+            coords = (task.block_row, task.block_col)
+            with turnstile.turn(index, trace=ctx.trace, block=coords):
+                with maybe_span(
+                    ctx.trace, "admission_wait", "wait", lane="discover", block=coords
+                ):
+                    ctx.accumulator.admit_block()
                 task.discover(ctx)
 
         records: list[BlockRecord] = []

@@ -64,6 +64,7 @@ from ...distsparse.summa import SummaResult
 from ...metrics.timers import Timer, time_call
 from ...mpi.costmodel import CostLedger, OverlapWindow
 from ...sparse.coo import CooMatrix
+from ...trace import TraceRecorder, activate, maybe_span
 from .cache import LANE_COUNTERS, CachedBlock, lane_time_categories
 from .schedulers import (
     OVERLAP_HIDDEN_CATEGORY,
@@ -165,6 +166,11 @@ class _BlockHeader:
     flops_per_rank: np.ndarray | None = None
     sparse_seconds: np.ndarray | None = None
     ledger_events: list[tuple] = field(default_factory=list)
+    #: spans/counters the worker recorded for this block (same journaling
+    #: pattern as ``ledger_events``); merged into the parent recorder with
+    #: the worker's pid attribution intact, in block order
+    trace_spans: list = field(default_factory=list)
+    trace_counters: list = field(default_factory=list)
 
 
 def _ship_result(result: SummaResult, segment_name: str):
@@ -280,6 +286,27 @@ def _sweep_segments(token: str, num_blocks: int) -> None:
 #: private ledger copy.
 _WORKER_CTX: StageContext | None = None
 
+#: The worker process's own span recorder (fresh, parent epoch) — built
+#: lazily on first traced block and reused for the worker's lifetime.  The
+#: forked copy of the *parent* recorder is never appended to: it already
+#: holds the parent's pre-fork spans, and appending would duplicate them
+#: on every block header.  ``perf_counter`` is CLOCK_MONOTONIC system-wide
+#: on Linux, so the parent epoch is a valid origin in the fork.
+_WORKER_TRACE: TraceRecorder | None = None
+
+
+def _worker_trace(ctx: StageContext) -> TraceRecorder | None:
+    """The per-process worker recorder (None when the run is untraced)."""
+    global _WORKER_TRACE
+    if ctx.trace is None:
+        return None
+    if _WORKER_TRACE is None:
+        _WORKER_TRACE = TraceRecorder(epoch=ctx.trace.epoch)
+        # deep sites (the SUMMA stage loop) find the recorder through the
+        # active-tracer global; re-point the fork's copy at the worker's own
+        activate(_WORKER_TRACE)
+    return _WORKER_TRACE
+
 
 def _worker_discover(index: int, block_row: int, block_col: int, segment_name: str):
     """Compute one block in a worker process; ship the result via shm.
@@ -294,23 +321,34 @@ def _worker_discover(index: int, block_row: int, block_col: int, segment_name: s
             "worker has no inherited run context; ProcessScheduler requires "
             "the 'fork' start method"
         )
+    trace = _worker_trace(ctx)
+    coords = (block_row, block_col)
     cache = ctx.cache
     if cache is not None:
-        entry = cache.load((block_row, block_col))
+        with maybe_span(
+            trace, "cache_load", "cache", lane="discover", block=coords
+        ) as span:
+            entry = cache.load(coords)
+            span.set(hit=entry is not None)
         if entry is not None:
-            return _BlockHeader(
+            header = _BlockHeader(
                 index=index,
                 worker_pid=os.getpid(),
                 discover_wall_seconds=entry.discover_wall_seconds,
                 entry=entry,
             )
+            if trace is not None:
+                header.trace_spans, header.trace_counters = trace.drain()
+            return header
     # journal the discover lane's ledger traffic in this worker's forked
     # copy; comm.ledger and comm.collectives.ledger alias one object, so
     # both references must point at the recorder
     recorder = RecordingLedger(ctx.comm.nranks)
     ctx.comm.ledger = recorder
     ctx.comm.collectives.ledger = recorder
-    block, wall_seconds = time_call(ctx.engine.compute_block, block_row, block_col)
+    with maybe_span(trace, "discover", "stage", lane="discover", block=coords) as span:
+        block, wall_seconds = time_call(ctx.engine.compute_block, block_row, block_col)
+        span.set(nnz=block.nnz, flops=float(block.result.flops_per_rank.sum()))
     result = block.result
     if ctx.params.clock == "modeled":
         sparse_seconds = np.array(
@@ -321,8 +359,12 @@ def _worker_discover(index: int, block_row: int, block_col: int, segment_name: s
         )
     else:
         sparse_seconds = np.asarray(result.compute_seconds_per_rank, dtype=float)
-    shm_name, shm_bytes, rank_specs = _ship_result(result, segment_name)
-    return _BlockHeader(
+    with maybe_span(
+        trace, "shm_ship", "transport", lane="discover", block=coords
+    ) as span:
+        shm_name, shm_bytes, rank_specs = _ship_result(result, segment_name)
+        span.set(bytes=shm_bytes)
+    header = _BlockHeader(
         index=index,
         worker_pid=os.getpid(),
         discover_wall_seconds=wall_seconds,
@@ -337,6 +379,9 @@ def _worker_discover(index: int, block_row: int, block_col: int, segment_name: s
         sparse_seconds=sparse_seconds,
         ledger_events=recorder.events,
     )
+    if trace is not None:
+        header.trace_spans, header.trace_counters = trace.drain()
+    return header
 
 
 # --------------------------------------------------------------------------- parent side
@@ -350,15 +395,27 @@ def _admit_block(header: _BlockHeader, task: BlockTask, ctx: StageContext):
     :class:`_ShmBlock` (``None`` for cache hits and empty blocks shipped
     without a segment).
     """
+    if ctx.trace is not None:
+        # worker-journaled spans arrive with the header and merge here, in
+        # block order, keeping the worker's pid/tid attribution intact
+        ctx.trace.merge(header.trace_spans, header.trace_counters)
+    coords = (task.block_row, task.block_col)
     cache = ctx.cache
     if header.entry is not None:
         if cache is not None:
             cache.note_hit()
-        task._replay_discover(ctx, header.entry)
+        with maybe_span(
+            ctx.trace, "cache_replay", "cache", lane="admit", block=coords
+        ):
+            task._replay_discover(ctx, header.entry)
         return None
     if cache is not None:
         cache.note_miss()
-    replay_ledger_events(ctx.comm.ledger, header.ledger_events)
+    with maybe_span(
+        ctx.trace, "ledger_replay", "replay", lane="admit", block=coords
+    ) as span:
+        replay_ledger_events(ctx.comm.ledger, header.ledger_events)
+        span.set(events=len(header.ledger_events))
     shm_block = _ShmBlock(header)
     result = SummaResult(
         shape=header.result_shape,
@@ -483,7 +540,14 @@ class ProcessScheduler(Scheduler):
                     for j in range(len(futures) + len(records), min(upto, num_blocks - 1) + 1):
                         # block-order slot reservation: the submit window is
                         # sized so this can never block (see `inflight`)
-                        ctx.accumulator.admit_block()
+                        with maybe_span(
+                            ctx.trace,
+                            "admission_wait",
+                            "wait",
+                            lane="submit",
+                            block=(tasks[j].block_row, tasks[j].block_col),
+                        ):
+                            ctx.accumulator.admit_block()
                         try:
                             futures[j] = pool.submit(
                                 _worker_discover,
@@ -521,6 +585,13 @@ class ProcessScheduler(Scheduler):
                     if shm_block is not None:
                         shm_peak_block = max(shm_peak_block, shm_block.nbytes)
                         shm_total += shm_block.nbytes
+                    if ctx.trace is not None:
+                        # gauges picked up by the block-boundary counter sample
+                        # inside _run_foreground_stages
+                        ctx.trace.set_value("shm_total_bytes", float(shm_total))
+                        ctx.trace.set_value(
+                            "shm_peak_block_bytes", float(shm_peak_block)
+                        )
 
                     record, output, align_sched = _run_foreground_stages(
                         task, ctx, timeline

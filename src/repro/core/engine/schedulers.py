@@ -133,6 +133,19 @@ def _run_foreground_stages(
             align_scheduled=align_sched,
         )
     )
+    if ctx.trace is not None:
+        # one counter sample per block boundary: live-memory gauges, cache
+        # hit/miss counters, plus every cumulative counter the recorder holds
+        # (the ledger charge hooks bump per-category totals between samples)
+        values = {
+            "live_blocks": float(ctx.accumulator.live_blocks),
+            "live_block_bytes": float(ctx.accumulator.live_block_bytes),
+        }
+        if ctx.cache is not None:
+            cache_counters = ctx.cache.counters()
+            values["cache_hits"] = float(cache_counters.get("hits", 0))
+            values["cache_misses"] = float(cache_counters.get("misses", 0))
+        ctx.trace.sample_counters(**values)
     return record, output, align_sched
 
 

@@ -43,6 +43,7 @@ import numpy as np
 from ...distsparse.blocked_summa import BlockedSpGemm, BlockSchedule, OutputBlock
 from ...metrics.timers import time_call
 from ...mpi.communicator import SimCommunicator
+from ...trace import TraceRecorder, maybe_span
 from ...sparse.coo import CooMatrix
 from ..align_phase import AlignmentPhase, BlockAlignmentOutput
 from ..costing import CostModel
@@ -97,6 +98,9 @@ class StageContext:
     stripe_seconds: float = 0.0
     #: optional per-block result cache (None disables caching entirely)
     cache: StageCache | None = None
+    #: optional span recorder (None — the default — disables tracing; every
+    #: instrumented site guards on it, so the disabled path costs nothing)
+    trace: TraceRecorder | None = None
 
 
 @dataclass
@@ -123,14 +127,26 @@ class BlockTask:
         """Compute this block via SUMMA (or replay it from the stage cache)."""
         assert self.block is None and self.cached is None, "discover ran twice"
         cache = ctx.cache
+        coords = (self.block_row, self.block_col)
         if cache is not None:
-            entry = cache.load((self.block_row, self.block_col))
+            with maybe_span(
+                ctx.trace, "cache_load", "cache", lane="discover", block=coords
+            ) as span:
+                entry = cache.load(coords)
+                span.set(hit=entry is not None)
             if entry is not None:
-                self._replay_discover(ctx, entry)
+                with maybe_span(
+                    ctx.trace, "cache_replay", "cache", lane="discover", block=coords
+                ):
+                    self._replay_discover(ctx, entry)
                 return None
-        block, self.discover_wall_seconds = time_call(
-            ctx.engine.compute_block, self.block_row, self.block_col
-        )
+        with maybe_span(
+            ctx.trace, "discover", "stage", lane="discover", block=coords
+        ) as span:
+            block, self.discover_wall_seconds = time_call(
+                ctx.engine.compute_block, self.block_row, self.block_col
+            )
+            span.set(nnz=block.nnz, flops=float(block.result.flops_per_rank.sum()))
         if ctx.params.clock == "modeled":
             sparse_seconds = np.array(
                 [
@@ -175,13 +191,16 @@ class BlockTask:
             self.candidates = []
             return self.candidates
         assert self.block is not None, "prune before discover"
-        per_rank: list[CooMatrix] = []
-        for rank_piece in self.block.result.per_rank:
-            pruned = ctx.scheme.prune(rank_piece)
-            pruned = drop_self_pairs(pruned)
-            pruned = filter_common_kmers(pruned, ctx.params.common_kmer_threshold)
-            per_rank.append(pruned)
-        self.candidates = per_rank
+        with maybe_span(
+            ctx.trace, "prune", "stage", block=(self.block_row, self.block_col)
+        ):
+            per_rank: list[CooMatrix] = []
+            for rank_piece in self.block.result.per_rank:
+                pruned = ctx.scheme.prune(rank_piece)
+                pruned = drop_self_pairs(pruned)
+                pruned = filter_common_kmers(pruned, ctx.params.common_kmer_threshold)
+                per_rank.append(pruned)
+            self.candidates = per_rank
         return per_rank
 
     def align(self, ctx: StageContext) -> BlockAlignmentOutput:
@@ -190,60 +209,77 @@ class BlockTask:
             self.output = self.cached.alignment_output()
             return self.output
         assert self.candidates is not None, "align before prune"
-        self.output = ctx.aligner.align_block(self.candidates, charge=False)
+        with maybe_span(
+            ctx.trace, "align", "stage", block=(self.block_row, self.block_col)
+        ) as span:
+            self.output = ctx.aligner.align_block(self.candidates, charge=False)
+            span.set(pairs=self.output.pairs_aligned)
         return self.output
 
     def accumulate(self, ctx: StageContext) -> BlockRecord:
         """Stream edges out, snapshot the record, and discard the block."""
         if self.cached is not None:
-            return self._accumulate_cached(ctx)
+            with maybe_span(
+                ctx.trace,
+                "accumulate",
+                "stage",
+                block=(self.block_row, self.block_col),
+                cached=True,
+            ):
+                return self._accumulate_cached(ctx)
         assert self.block is not None and self.output is not None, "accumulate before align"
-        block, output = self.block, self.output
-        block_bytes = block.memory_bytes()
-        self.record = BlockRecord(
-            block_row=self.block_row,
-            block_col=self.block_col,
-            kind=classify_block(
-                ctx.schedule.row_range(self.block_row), ctx.schedule.col_range(self.block_col)
-            ),
-            candidates=block.nnz,
-            aligned_pairs=output.pairs_aligned,
-            similar_pairs=int(output.edges.size),
-            sparse_seconds_per_rank=self.sparse_seconds,
-            align_seconds_per_rank=output.align_seconds_per_rank,
-            pairs_per_rank=output.pairs_aligned_per_rank,
-            cells_per_rank=output.cells_per_rank,
-            block_bytes=block_bytes,
-        )
-        ctx.accumulator.consume(output.edges)
-        ctx.accumulator.block_discarded(block_bytes)
-        if ctx.cache is not None and self._capture is not None:
-            times, counters, stats = self._capture
-            ctx.cache.store(
-                (self.block_row, self.block_col),
-                CachedBlock(
-                    candidates=self.record.candidates,
-                    block_bytes=block_bytes,
-                    sparse_seconds_per_rank=self.sparse_seconds,
-                    align_seconds_per_rank=output.align_seconds_per_rank,
-                    pairs_per_rank=output.pairs_aligned_per_rank,
-                    cells_per_rank=output.cells_per_rank,
-                    edges=output.edges,
-                    kernel_seconds=output.kernel_seconds,
-                    measured_align_seconds=output.measured_seconds,
-                    discover_wall_seconds=self.discover_wall_seconds,
-                    stats_flops=stats.flops,
-                    stats_output_nnz=stats.output_nnz,
-                    stats_intermediate_bytes=stats.intermediate_bytes,
-                    stats_row_groups=stats.row_groups,
-                    ledger_times=times,
-                    ledger_counters=counters,
+        with maybe_span(
+            ctx.trace, "accumulate", "stage", block=(self.block_row, self.block_col)
+        ) as span:
+            block, output = self.block, self.output
+            block_bytes = block.memory_bytes()
+            self.record = BlockRecord(
+                block_row=self.block_row,
+                block_col=self.block_col,
+                kind=classify_block(
+                    ctx.schedule.row_range(self.block_row),
+                    ctx.schedule.col_range(self.block_col),
                 ),
+                candidates=block.nnz,
+                aligned_pairs=output.pairs_aligned,
+                similar_pairs=int(output.edges.size),
+                sparse_seconds_per_rank=self.sparse_seconds,
+                align_seconds_per_rank=output.align_seconds_per_rank,
+                pairs_per_rank=output.pairs_aligned_per_rank,
+                cells_per_rank=output.cells_per_rank,
+                block_bytes=block_bytes,
             )
-            self._capture = None
-        # drop the bulky stage products; the record and the streamed edges survive
-        self.block = None
-        self.candidates = None
+            ctx.accumulator.consume(output.edges)
+            ctx.accumulator.block_discarded(block_bytes)
+            if ctx.cache is not None and self._capture is not None:
+                times, counters, stats = self._capture
+                ctx.cache.store(
+                    (self.block_row, self.block_col),
+                    CachedBlock(
+                        candidates=self.record.candidates,
+                        block_bytes=block_bytes,
+                        sparse_seconds_per_rank=self.sparse_seconds,
+                        align_seconds_per_rank=output.align_seconds_per_rank,
+                        pairs_per_rank=output.pairs_aligned_per_rank,
+                        cells_per_rank=output.cells_per_rank,
+                        edges=output.edges,
+                        kernel_seconds=output.kernel_seconds,
+                        measured_align_seconds=output.measured_seconds,
+                        discover_wall_seconds=self.discover_wall_seconds,
+                        stats_flops=stats.flops,
+                        stats_output_nnz=stats.output_nnz,
+                        stats_intermediate_bytes=stats.intermediate_bytes,
+                        stats_row_groups=stats.row_groups,
+                        ledger_times=times,
+                        ledger_counters=counters,
+                    ),
+                )
+                self._capture = None
+            span.set(edges=int(output.edges.size))
+            # drop the bulky stage products; the record and the streamed edges
+            # survive
+            self.block = None
+            self.candidates = None
         return self.record
 
     def _accumulate_cached(self, ctx: StageContext) -> BlockRecord:

@@ -143,6 +143,21 @@ class PastisParams:
         Ignore existing cache entries and overwrite them with freshly
         computed blocks (a forced re-population, e.g. after changing
         something the key cannot see).  Only meaningful with ``cache_dir``.
+    trace:
+        Record structured spans and counter series for the run (see
+        :mod:`repro.trace`): stage spans (discover/prune/align/accumulate),
+        cache hit/miss replays, SUMMA broadcast stages, admission and
+        turnstile waits, MCL iterations.  Off by default; the disabled
+        path costs nothing, and tracing never perturbs results — records,
+        edges and the deterministic ledger categories are bit-identical
+        with tracing on (asserted in ``tests/test_trace.py``).  The
+        recorder is returned on ``SearchResult.trace``; with ``trace_dir``
+        also set, the run additionally writes ``trace.jsonl`` (canonical)
+        and ``trace.json`` (Chrome trace-event, loadable in Perfetto /
+        ``chrome://tracing``) into that directory, even when the run fails.
+    trace_dir:
+        Directory the trace files are exported into (created if missing).
+        Implies ``trace=True``.
     """
 
     kmer_length: int = 6
@@ -172,6 +187,8 @@ class PastisParams:
     cluster: ClusterParams = field(default_factory=ClusterParams)
     cache_dir: str | None = DEFAULTS.cache_dir
     cache_invalidate: bool = False
+    trace: bool = False
+    trace_dir: str | None = None
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -221,6 +238,8 @@ class PastisParams:
                 "cache_invalidate=True has no effect without cache_dir; "
                 "set cache_dir or drop the flag"
             )
+        if self.trace_dir is not None and not str(self.trace_dir).strip():
+            raise ValueError("trace_dir must be a non-empty path (or None)")
         if not isinstance(self.cluster, ClusterParams):
             raise ValueError("cluster must be a ClusterParams instance")
         self.cluster.validate()
@@ -236,6 +255,11 @@ class PastisParams:
             raise ValueError("coverage_threshold must be in [0, 1]")
         if self.common_kmer_threshold < 1:
             raise ValueError("common_kmer_threshold must be >= 1")
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether the run records spans (``trace_dir`` implies ``trace``)."""
+        return self.trace or self.trace_dir is not None
 
     @property
     def alphabet(self) -> Alphabet:

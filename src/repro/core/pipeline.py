@@ -43,6 +43,7 @@ raw ledger.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,7 +51,9 @@ import numpy as np
 from ..distsparse.blocked_summa import BlockedSpGemm
 from ..graph.api import ClusteringResult, cluster_similarity_graph
 from ..metrics.memory import MemoryTracker
+from ..metrics.timers import TimerRegistry
 from ..mpi.communicator import SimCommunicator
+from ..trace import TraceRecorder, activate, deactivate, maybe_span, write_trace
 from ..mpi.io import ParallelIoModel
 from ..mpi.process_grid import is_perfect_square
 from ..distsparse.distribute import distribute_sequences
@@ -91,6 +94,9 @@ class SearchResult:
     memory: MemoryTracker | None = None
     scheduler: str = "serial"
     clustering: ClusteringResult | None = None
+    #: the run's span recorder when ``params.trace``/``trace_dir`` enabled
+    #: tracing (None otherwise); see :mod:`repro.trace`
+    trace: TraceRecorder | None = None
 
     @property
     def ledger(self):
@@ -115,8 +121,53 @@ class PastisPipeline:
         requires a configured ``cache_dir`` and fails loudly otherwise —
         stored blocks are skipped and execution continues from the first
         missing one, so a SIGKILL loses at most the in-flight block.
+
+        With ``params.trace``/``params.trace_dir`` set, the run records
+        structured spans through a :class:`repro.trace.TraceRecorder`
+        (returned on ``SearchResult.trace``) and — when ``trace_dir`` is
+        set — exports ``trace.jsonl`` plus a Perfetto-loadable
+        ``trace.json`` into that directory, on success *and* on failure
+        (a partial trace of a crashed run is often the most useful one).
+        Tracing never perturbs results.
         """
         params = self.params
+        tracer = TraceRecorder() if params.trace_enabled else None
+        phases = TimerRegistry()
+        if tracer is None:
+            return self._run_impl(sequences, resume, None, phases)
+        # deep sites without a StageContext (the SUMMA stage loop, MCL
+        # iterations) reach the recorder through the active-tracer global
+        activate(tracer)
+        try:
+            result = self._run_impl(sequences, resume, tracer, phases)
+        except BaseException:
+            if params.trace_dir is not None:
+                try:  # best effort: never mask the run's own failure
+                    write_trace(tracer, params.trace_dir)
+                except Exception:
+                    pass
+            raise
+        finally:
+            deactivate()
+        return result
+
+    def _run_impl(
+        self,
+        sequences: SequenceSet,
+        resume: bool,
+        tracer: TraceRecorder | None,
+        phases: TimerRegistry,
+    ) -> SearchResult:
+        params = self.params
+
+        def phase(name: str) -> ExitStack:
+            # one top-level phase: always timed into the registry (reported
+            # as extras["phase_seconds"]), additionally spanned when tracing
+            stack = ExitStack()
+            stack.enter_context(phases.timer(name))
+            stack.enter_context(maybe_span(tracer, name, "phase", lane="phase"))
+            return stack
+
         if resume and params.cache_dir is None:
             raise ValueError(
                 "resume=True requires params.cache_dir: a resumable run needs "
@@ -136,6 +187,10 @@ class PastisPipeline:
         wall_start = time.perf_counter()
 
         comm = SimCommunicator(params.nodes)
+        if tracer is not None:
+            # every charge/charge_all bumps the recorder's per-category
+            # cumulative counters, sampled into events at block boundaries
+            comm.ledger.trace = tracer
         cost_model = CostModel(node=comm.cluster.node)
         io_model = ParallelIoModel(cluster=comm.cluster, ledger=comm.ledger)
         # "cluster" is excluded from the Table-IV total: the paper's runtime
@@ -144,20 +199,24 @@ class PastisPipeline:
         scoring_category_exclude = ("spgemm_measured", OVERLAP_HIDDEN_CATEGORY, "cluster")
 
         # ---- input IO and sequence exchange -------------------------------------
-        io_model.collective_read(
-            ParallelIoModel.fasta_bytes(sequences.total_residues, len(sequences))
-        )
-        distribute_sequences(sequences, comm, category="cwait")
+        with phase("input_io"):
+            io_model.collective_read(
+                ParallelIoModel.fasta_bytes(sequences.total_residues, len(sequences))
+            )
+            distribute_sequences(sequences, comm, category="cwait")
 
         # ---- sequence-by-k-mer matrix --------------------------------------------
-        a_dist, at_dist, kmer_info = build_distributed_kmer_matrix(sequences, params, comm)
-        kmer_bytes = kmer_info.nnz * (8 + 8 + 4)
-        comm.ledger.charge_all(
-            "sparse_other",
-            cost_model.sparse_traversal_seconds(kmer_bytes / comm.size)
-            if params.clock == "modeled"
-            else kmer_info.build_seconds / comm.size,
-        )
+        with phase("kmer_matrix"):
+            a_dist, at_dist, kmer_info = build_distributed_kmer_matrix(
+                sequences, params, comm
+            )
+            kmer_bytes = kmer_info.nnz * (8 + 8 + 4)
+            comm.ledger.charge_all(
+                "sparse_other",
+                cost_model.sparse_traversal_seconds(kmer_bytes / comm.size)
+                if params.clock == "modeled"
+                else kmer_info.build_seconds / comm.size,
+            )
 
         # ---- stage graph: blocked overlap computation + alignment ------------------
         schedule, scheme, tasks = make_block_tasks(len(sequences), params)
@@ -199,6 +258,7 @@ class PastisPipeline:
             accumulator=accumulator,
             stripe_seconds=cost_model.sparse_traversal_seconds(stripe_bytes_per_rank),
             cache=stage_cache,
+            trace=tracer,
         )
         # scheduler selection: no pre-blocking -> serial; pre-blocking on the
         # modeled clock at depth 1 -> the simulated overlapped scheduler with
@@ -222,12 +282,14 @@ class PastisPipeline:
             )
         else:
             scheduler = make_scheduler(scheduler_name)
-        outcome: ScheduleOutcome = scheduler.run(tasks, ctx)
+        with phase("stage_graph"):
+            outcome: ScheduleOutcome = scheduler.run(tasks, ctx)
         block_records = outcome.records
 
         # ---- output IO -------------------------------------------------------------
-        graph = accumulator.finalize()
-        io_model.collective_write(ParallelIoModel.triples_bytes(graph.num_edges))
+        with phase("output_io"):
+            graph = accumulator.finalize()
+            io_model.collective_write(ParallelIoModel.triples_bytes(graph.num_edges))
 
         # ---- optional clustering stage (post-graph; schedulers untouched) ----------
         # runs after the stage graph has been drained: it consumes the one
@@ -237,7 +299,8 @@ class PastisPipeline:
         cluster_seconds = 0.0
         if params.cluster.enabled:
             t0 = time.perf_counter()
-            clustering = cluster_similarity_graph(graph, params.cluster)
+            with phase("cluster"):
+                clustering = cluster_similarity_graph(graph, params.cluster)
             cluster_wall = time.perf_counter() - t0
             if params.clock != "modeled":
                 # measured clock: every category holds wall seconds, so the
@@ -311,6 +374,9 @@ class PastisPipeline:
                 "peak_live_blocks": float(accumulator.peak_live_blocks),
                 "edge_buffer_bytes": float(accumulator.memory.peak("edge_buffer")),
                 "spgemm_row_groups": float(engine.total_stats.row_groups),
+                # measured wall seconds of the top-level phases, backed by
+                # the TimerRegistry (a timing key: values vary run to run)
+                "phase_seconds": phases.summary(),
             },
         )
         # scheduler-specific report entries (process-lane timings, shm bytes)
@@ -322,6 +388,8 @@ class PastisPipeline:
                 **clustering.summary(),
                 "modeled_seconds": cluster_seconds,
             }
+        if tracer is not None and params.trace_dir is not None:
+            write_trace(tracer, params.trace_dir)
         return SearchResult(
             similarity_graph=graph,
             stats=stats,
@@ -334,6 +402,7 @@ class PastisPipeline:
             memory=accumulator.memory,
             scheduler=scheduler.name,
             clustering=clustering,
+            trace=tracer,
         )
 
 

@@ -36,6 +36,7 @@ from ..sparse.kernels import (
 )
 from ..sparse.semiring import Semiring
 from ..sparse.spgemm import SpGemmStats
+from ..trace import current_tracer
 from .distmat import DistSparseMatrix
 
 
@@ -191,8 +192,13 @@ def summa(
     compute_seconds = np.zeros(grid.nprocs)
     flops_per_rank = np.zeros(grid.nprocs)
     comm_before = ledger.per_rank(engine.comm_category).copy()
+    # spans go to whatever recorder is active in this process (the parent's,
+    # or a process-pool worker's own journal); summa has no StageContext, so
+    # it reaches the tracer through the module-level active-tracer global
+    tracer = current_tracer()
 
     for k in range(dim):
+        stage_t0 = time.perf_counter() if tracer is not None else 0.0
         # --- broadcast A(:, k) along grid rows and B(k, :) along grid columns
         a_blocks: dict[int, tuple[CooMatrix, int, int]] = {}
         for i in range(dim):
@@ -216,6 +222,11 @@ def summa(
             for rank in range(grid.nprocs):
                 received_a[rank].append(a_blocks[rank])
                 received_b[rank].append(b_blocks[rank])
+            if tracer is not None:
+                tracer.add_span(
+                    "summa_stage", "summa", stage_t0, time.perf_counter(),
+                    lane="discover", stage=k, deferred=True,
+                )
             continue
 
         # --- local semiring multiply on every rank
@@ -242,9 +253,15 @@ def summa(
                 )
             ledger.count(rank, "spgemm_flops", pstats.flops)
             flops_per_rank[rank] += pstats.flops
+        if tracer is not None:
+            tracer.add_span(
+                "summa_stage", "summa", stage_t0, time.perf_counter(),
+                lane="discover", stage=k,
+            )
 
     per_rank: list[CooMatrix] = []
     if deferred_merge:
+        merge_t0 = time.perf_counter() if tracer is not None else 0.0
         # --- one local multiply per rank over the gathered stripes
         for rank in range(grid.nprocs):
             a_local = _concat_received(received_a[rank], (a.shape[0], a.shape[1]))
@@ -264,6 +281,11 @@ def summa(
             )
             ledger.count(rank, "spgemm_flops", pstats.flops)
             flops_per_rank[rank] += pstats.flops
+        if tracer is not None:
+            tracer.add_span(
+                "summa_merge", "summa", merge_t0, time.perf_counter(),
+                lane="discover",
+            )
     else:
         # --- merge per-rank partial results across stages
         for rank in range(grid.nprocs):

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..metrics.memory import MemoryTracker
 from ..sparse.kernels import DEFAULT_KERNEL, resolve_kernel
+from ..trace import current_tracer
 from .components import canonical_labels, component_roots
 from .matrix import StochasticMatrix, flow_residual_tcsr
 
@@ -197,7 +198,10 @@ class MarkovClustering:
         memory.set_usage(MCL_ITERATE, current.memory_bytes())
         iterations: list[MclIterationStats] = []
         converged = False
+        # fit has no StageContext; the tracer (if any) is the run's active one
+        tracer = current_tracer()
         for iteration in range(1, self.max_iterations + 1):
+            iter_t0 = time.perf_counter() if tracer is not None else 0.0
             previous_tcsr = current.tcsr if self.rmcl_tolerance > 0 else None
             t0 = time.perf_counter()
             expanded, spgemm_stats = current.expand(
@@ -232,6 +236,12 @@ class MarkovClustering:
                     flow_residual=residual,
                 )
             )
+            if tracer is not None:
+                tracer.add_span(
+                    "mcl_iteration", "cluster", iter_t0, time.perf_counter(),
+                    lane="cluster", iteration=iteration, nnz=current.nnz,
+                    chaos=float(chaos),
+                )
             if chaos <= self.tolerance or (
                 residual is not None and residual <= self.rmcl_tolerance
             ):

@@ -35,12 +35,29 @@ def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[
     Stage-cache hit/miss counters (``stats.extras["cache"]``, present when a
     run had ``cache_dir`` configured) are additionally hoisted to flat
     ``cache_hits``/``cache_misses`` keys so warm-vs-cold runs diff cleanly.
+    Likewise the process executor's per-lane map (``extras["process_lanes"]``)
+    is hoisted to flat ``process_lane_count`` / ``process_lane_blocks`` /
+    ``process_lane_discover_seconds`` keys (worker count, total blocks they
+    computed, total discover-lane seconds), so scheduler comparisons diff on
+    scalars; ``shm_peak_block_bytes`` / ``shm_total_bytes`` /
+    ``peak_live_blocks`` already arrive flat through the extras merge.
     """
     report = _jsonable(stats.as_dict())
     cache = report.get("cache")
     if isinstance(cache, dict):
         report.setdefault("cache_hits", cache.get("hits", 0))
         report.setdefault("cache_misses", cache.get("misses", 0))
+    lanes = report.get("process_lanes")
+    if isinstance(lanes, dict):
+        report.setdefault("process_lane_count", len(lanes))
+        report.setdefault(
+            "process_lane_blocks",
+            sum(int(lane.get("blocks", 0)) for lane in lanes.values()),
+        )
+        report.setdefault(
+            "process_lane_discover_seconds",
+            sum(float(lane.get("discover_seconds", 0.0)) for lane in lanes.values()),
+        )
     if extra:
         report.update(_jsonable(extra))
     return report

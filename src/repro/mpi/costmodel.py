@@ -252,6 +252,12 @@ class CostLedger:
         self._lock = threading.Lock()
         self._time: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
         self._counters: dict[str, np.ndarray] = defaultdict(lambda: np.zeros(nranks))
+        #: optional :class:`repro.trace.TraceRecorder` — when set, every
+        #: charge bumps the recorder's cumulative ``ledger.<category>``
+        #: counter (a dict add, sampled into events at block boundaries).
+        #: Hooks run *outside* the lock: the recorder has its own, and the
+        #: bump only ever touches recorder state, never ledger arrays.
+        self.trace = None
 
     # ------------------------------------------------------------------ charging
     def charge(self, rank: int, category: str, seconds: float) -> None:
@@ -261,6 +267,8 @@ class CostLedger:
             raise ValueError("cannot charge negative time")
         with self._lock:
             self._time[category][rank] += seconds
+        if self.trace is not None:
+            self.trace.bump("ledger." + category, seconds)
 
     def charge_all(self, category: str, seconds: float | np.ndarray) -> None:
         """Add time to every rank (scalar, or one value per rank)."""
@@ -269,6 +277,8 @@ class CostLedger:
             raise ValueError("cannot charge negative time")
         with self._lock:
             self._time[category] = self._time[category] + arr
+        if self.trace is not None:
+            self.trace.bump("ledger." + category, float(arr.sum()))
 
     def count(self, rank: int, counter: str, amount: float = 1.0) -> None:
         """Increment a per-rank counter (e.g. alignments, flops, bytes sent)."""
@@ -321,6 +331,13 @@ class CostLedger:
                         f"got {arr.shape}"
                     )
                 self._time[cat] = arr.copy()
+            if self.trace is not None:
+                # a restore *sets* the lane's categories (cache replay), so
+                # the trace counter must follow absolutely, not additively
+                for cat in times:
+                    self.trace.set_value(
+                        "ledger." + cat, float(np.asarray(times[cat]).sum())
+                    )
             for cnt, values in (counters or {}).items():
                 arr = np.asarray(values, dtype=np.float64)
                 if arr.shape != (self.nranks,):

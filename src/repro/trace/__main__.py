@@ -1,0 +1,66 @@
+"""CLI: summarize, convert and diff run traces.
+
+``summarize`` renders the per-stage / per-lane breakdown of one trace,
+``export`` converts the canonical JSONL to a Perfetto-loadable Chrome
+trace-event file, ``diff`` compares two runs stage by stage (cold vs
+warm cache, serial vs process, ...).  Every command accepts either a
+``trace.jsonl`` path or the ``trace_dir`` a traced run wrote into.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .export import chrome_from_jsonl, diff_text, resolve_trace_path, summarize_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect structured run traces (see repro.trace).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-stage/per-lane breakdown table")
+    p_sum.add_argument("trace", help="trace.jsonl file or trace_dir")
+
+    p_exp = sub.add_parser("export", help="convert JSONL to Chrome trace-event JSON")
+    p_exp.add_argument("trace", help="trace.jsonl file or trace_dir")
+    p_exp.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: <trace>.trace.json next to the input)",
+    )
+
+    p_diff = sub.add_parser("diff", help="stage-by-stage comparison of two traces")
+    p_diff.add_argument("trace_a", help="baseline trace.jsonl file or trace_dir")
+    p_diff.add_argument("trace_b", help="comparison trace.jsonl file or trace_dir")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        print(summarize_text(resolve_trace_path(args.trace)))
+        return 0
+    if args.command == "export":
+        source = resolve_trace_path(args.trace)
+        output = (
+            Path(args.output)
+            if args.output is not None
+            else source.with_suffix(".trace.json")
+        )
+        path = chrome_from_jsonl(source, output)
+        print(f"wrote {path}")
+        return 0
+    if args.command == "diff":
+        print(
+            diff_text(
+                resolve_trace_path(args.trace_a), resolve_trace_path(args.trace_b)
+            )
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

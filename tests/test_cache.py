@@ -44,7 +44,7 @@ LEDGER_COUNTERS = (
 #: real wall time, the cache's own hit/miss counters, and (threaded only)
 #: race-dependent concurrency peaks — the same classes test_engine.py's
 #: TIMING_AND_MEMORY_KEYS excludes from scheduler comparisons.
-NONDETERMINISTIC_STATS_KEYS = frozenset({"wall_seconds", "cache"})
+NONDETERMINISTIC_STATS_KEYS = frozenset({"wall_seconds", "cache", "phase_seconds"})
 CONCURRENCY_STATS_KEYS = frozenset({"peak_live_blocks", "peak_live_block_bytes"})
 #: Process-scheduler-only extras: worker pids differ run to run, and a warm
 #: run ships cache entries over the pipe instead of shm segments.

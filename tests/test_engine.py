@@ -49,6 +49,7 @@ TIMING_AND_MEMORY_KEYS = frozenset(
         "peak_live_block_bytes",
         "peak_live_blocks",
         "edge_buffer_bytes",
+        "phase_seconds",
     }
 )
 
