@@ -1,0 +1,72 @@
+"""Shared benchmark result writer: stamped JSON + the bench trajectory.
+
+Every benchmark persists its series through :func:`save_results`, which
+
+* stamps dict-shaped results with a ``meta`` block (result schema
+  version, bench name, host fingerprint, git revision, timestamp) so
+  ``python -m repro.obs regress`` can match baselines per bench and per
+  host; and
+* appends the flattened numeric view of the result as one line to
+  ``benchmarks/results/trajectory.jsonl`` — the append-only perf
+  trajectory that turns forgotten ``BENCH_*.json`` snapshots into
+  baselines (``regress`` reads ``*.jsonl`` baselines natively).
+
+Non-dict series (figure point lists) are written unchanged and skipped
+by the trajectory: they carry no comparable scalars.  Benchmarks that
+call :func:`save_results` more than once per run (progressive writes)
+append one trajectory entry per call; entries from the same run carry
+the same values, so the median-based detector is unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.io.report import save_json
+from repro.obs.manifest import git_revision, host_fingerprint
+from repro.obs.regress import flatten_numeric
+
+#: bump when the meta block or trajectory entry shape changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TRAJECTORY_PATH = RESULTS_DIR / "trajectory.jsonl"
+
+
+def result_meta(name: str) -> dict:
+    """The stamp attached to every dict-shaped benchmark result."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "host": host_fingerprint(),
+        "git_revision": git_revision(),
+        "timestamp": time.time(),
+    }
+
+
+def save_results(name: str, data) -> None:
+    """Persist a benchmark's series under benchmarks/results/<name>.json."""
+    if isinstance(data, dict):
+        data = {**data, "meta": result_meta(name)}
+    save_json(data, RESULTS_DIR / f"{name}.json")
+    if isinstance(data, dict):
+        append_trajectory(name, data)
+
+
+def append_trajectory(name: str, stamped: dict, path: Path | None = None) -> None:
+    """Append one flattened entry for a stamped result to the trajectory."""
+    meta = stamped.get("meta") or {}
+    entry = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "timestamp": meta.get("timestamp"),
+        "git_revision": meta.get("git_revision"),
+        "host_fingerprint": (meta.get("host") or {}).get("fingerprint"),
+        "metrics": flatten_numeric(stamped),
+    }
+    path = TRAJECTORY_PATH if path is None else path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")

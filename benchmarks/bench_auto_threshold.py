@@ -43,7 +43,7 @@ from repro.sparse.gustavson import spgemm_gustavson
 from repro.sparse.semiring import OverlapSemiring
 from repro.sparse.spgemm import spgemm
 
-from conftest import save_results
+from _results import save_results
 
 #: Inner-dimension sizes spanning low to high compression factors at fixed
 #: nnz (smaller k -> more collisions -> higher cf).

@@ -21,7 +21,7 @@ from repro.core.params import PastisParams
 from repro.core.pipeline import PastisPipeline
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 
-from conftest import save_results
+from _results import save_results
 
 #: Same seeded workload as bench_pipeline, so the two artifacts are
 #: comparable run-for-run across commits.

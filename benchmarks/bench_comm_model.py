@@ -27,7 +27,7 @@ from repro.perfmodel.analytic import blocked_summa_communication_seconds, summa_
 from repro.sparse.coo import CooMatrix
 from repro.sparse.semiring import OverlapSemiring
 
-from conftest import save_results
+from _results import save_results
 
 BLOCKINGS = [(1, 1), (2, 2), (4, 4), (8, 8)]
 

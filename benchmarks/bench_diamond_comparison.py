@@ -22,7 +22,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.io.tables import format_table
 from repro.perfmodel import AnalyticModel, WorkloadProfile
 
-from conftest import save_results
+from _results import save_results
 
 DIAMOND_PAPER = {
     "queries": 281e6,

@@ -38,7 +38,7 @@ from repro.perfmodel.scaling import cluster_strong_scaling_series
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 from repro.sparse.kernels import available_kernels
 
-from conftest import save_results
+from _results import save_results
 
 #: The shared seeded workload of ``bench_pipeline.py`` / ``bench_graph.py``.
 WORKLOAD = dict(

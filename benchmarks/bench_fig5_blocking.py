@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.core.pipeline import PastisPipeline
 from repro.io.tables import format_table
 
-from conftest import save_results
+from _results import save_results
 
 BLOCK_COUNTS = [1, 2, 4, 9, 16, 25]
 

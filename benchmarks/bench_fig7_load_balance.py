@@ -21,7 +21,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.io.tables import format_table
 from repro.mpi.costmodel import TimeBreakdown
 
-from conftest import save_results
+from _results import save_results
 
 BLOCK_COUNTS = [4, 9, 16, 25]
 

@@ -20,7 +20,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.io.tables import format_table
 from repro.perfmodel import AnalyticModel, WorkloadProfile, strong_scaling_series
 
-from conftest import save_results
+from _results import save_results
 
 PAPER_NODES = [49, 81, 100, 144, 196, 289, 400]
 FUNCTIONAL_NODES = [1, 4, 9, 16]

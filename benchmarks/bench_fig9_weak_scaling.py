@@ -21,7 +21,7 @@ from repro.io.tables import format_table
 from repro.perfmodel import AnalyticModel, WorkloadProfile, weak_scaling_series
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 
-from conftest import save_results
+from _results import save_results
 
 PAPER_NODES = [25, 49, 100, 196, 400, 784]
 PAPER_TABLE3 = {25: 13.5e9, 49: 26.7e9, 100: 55.1e9, 196: 108.9e9, 400: 225.4e9, 784: 452.4e9}

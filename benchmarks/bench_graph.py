@@ -33,7 +33,7 @@ from repro.metrics.counters import format_rate
 from repro.sequences.synthetic import SyntheticDatasetConfig, family_labels, synthetic_dataset
 from repro.sparse.kernels import available_kernels
 
-from conftest import save_results
+from _results import save_results
 
 #: The shared seeded workload of ``bench_pipeline.py`` — family-structured,
 #: so the recovered clustering can be scored against ground truth.

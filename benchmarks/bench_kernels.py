@@ -20,7 +20,7 @@ from repro.sparse.kernels import available_kernels, get_kernel, kernel_supports_
 from repro.sparse.semiring import CountSemiring, OverlapSemiring
 from repro.sparse.spgemm import spgemm
 
-from conftest import save_results
+from _results import save_results
 
 
 def test_batch_smith_waterman_throughput(benchmark):

@@ -42,7 +42,7 @@ from repro.core.params import PastisParams
 from repro.core.pipeline import PastisPipeline
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 
-from conftest import save_results
+from _results import save_results
 
 #: Substitute-k-mer seeding makes the overlap SpGEMM heavy enough that the
 #: discover lane is worth hiding (~40-60% of the phase on one core).

@@ -16,7 +16,7 @@ from repro.core.params import PastisParams
 from repro.core.pipeline import PastisPipeline
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 
-from conftest import save_results
+from _results import save_results
 
 #: Seeded workload: enough families that alignment and sparse discovery are
 #: both substantial and reasonably balanced, so the overlap has something to

@@ -41,7 +41,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 from repro.sparse.kernels import available_kernels
 
-from conftest import save_results
+from _results import save_results
 
 #: Substitute-k-mer seeding keeps the discover lane a large share of the
 #: phase — the regime where moving it off the GIL can pay (same workload as

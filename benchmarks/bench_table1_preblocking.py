@@ -20,7 +20,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.core.preblocking import PreblockingModel
 from repro.io.tables import format_table
 
-from conftest import save_results
+from _results import save_results
 
 BLOCK_COUNTS = [4, 9, 16]
 

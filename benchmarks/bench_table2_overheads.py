@@ -14,7 +14,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.io.tables import format_table
 from repro.perfmodel import AnalyticModel, WorkloadProfile
 
-from conftest import save_results
+from _results import save_results
 
 NODE_COUNTS = [49, 81, 100, 144, 196, 289, 400]
 

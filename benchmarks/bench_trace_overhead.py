@@ -22,7 +22,7 @@ from repro.core.pipeline import PastisPipeline
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 from repro.trace import CHROME_NAME, write_trace
 
-from conftest import RESULTS_DIR, save_results
+from _results import RESULTS_DIR, save_results
 
 #: Same seeded workload as bench_pipeline/bench_cache, so artifacts are
 #: comparable run-for-run across commits.

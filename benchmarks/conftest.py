@@ -14,20 +14,14 @@ paper-vs-measured discussion.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
 from repro.core.params import PastisParams
-from repro.io.report import save_json
 from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def save_results(name: str, data) -> None:
-    """Persist a benchmark's series under benchmarks/results/<name>.json."""
-    save_json(data, RESULTS_DIR / f"{name}.json")
+# the writer lives in _results.py (stamped meta + the bench trajectory);
+# re-exported here for backward compatibility with `from conftest import ...`
+from _results import RESULTS_DIR, save_results  # noqa: F401
 
 
 @pytest.fixture(scope="session")

@@ -121,6 +121,28 @@ process executor's workers journal spans into the block header (the same
 pattern as their ledger journal) and the parent merges them in block
 order with worker-pid attribution.  Tracing is off by default, zero-cost
 when disabled, and non-perturbing: results stay bit-identical with it on.
+
+**Tracing vs metrics** — two complementary observability layers share
+the instrumentation points above; pick by the question being asked:
+
+* *"When did what happen inside this one run?"* → **tracing**
+  (``PastisParams.trace``/``trace_dir``, :mod:`repro.trace`): ordered
+  spans with pid/tid attribution and block-boundary counter series,
+  exported as a Perfetto-loadable timeline.  High detail, one run at a
+  time, meant for eyeballs and ``python -m repro.trace diff``.
+* *"How much, and is it getting slower across runs?"* → **metrics**
+  (``PastisParams.metrics``/``run_registry``, :mod:`repro.obs`): typed
+  counters/gauges/histograms with label sets — ledger seconds per
+  category, phase timers, cache hit/miss counts, lane stats, per-SUMMA
+  -stage kernel seconds and measured compression factors — aggregated
+  per run, persisted as registry manifests, scraped via Prometheus text
+  exposition, and guarded by ``python -m repro.obs regress``.
+
+Both ride the same ledger trace hook (fanned out when both are on), use
+the same worker-journaling transport under the process scheduler, and
+carry the same contract: off by default, near-zero-cost when disabled,
+and non-perturbing — ``tests/test_trace.py`` and ``tests/test_obs.py``
+assert bit-identity per scheduler.
 """
 
 from .accumulator import StreamingGraphAccumulator

@@ -158,6 +158,23 @@ class PastisParams:
     trace_dir:
         Directory the trace files are exported into (created if missing).
         Implies ``trace=True``.
+    metrics:
+        Collect typed counters/gauges/histograms for the run through a
+        :class:`repro.obs.MetricsHub` (ledger seconds per category, phase
+        timers, cache hit/miss counters, scheduler lane stats, and
+        per-SUMMA-stage kernel dispatch records with measured compression
+        factors).  Off by default; like tracing it is near-zero-cost when
+        disabled and never perturbs results (asserted per scheduler in
+        ``tests/test_obs.py``).  The hub is returned on
+        ``SearchResult.metrics``.
+    run_registry:
+        Directory of the persistent run registry (see
+        :mod:`repro.obs.registry`).  When set, every run — successful or
+        failed — appends a schema-versioned ``run.json`` manifest (params
+        cache token, host fingerprint, config, phase seconds, ledger
+        totals, cache counters, peak memory, exit status) inspectable with
+        ``python -m repro.obs ls|show|diff|export|regress``.  Implies
+        ``metrics=True``.
     """
 
     kmer_length: int = 6
@@ -189,6 +206,8 @@ class PastisParams:
     cache_invalidate: bool = False
     trace: bool = False
     trace_dir: str | None = None
+    metrics: bool = False
+    run_registry: str | None = None
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -240,6 +259,8 @@ class PastisParams:
             )
         if self.trace_dir is not None and not str(self.trace_dir).strip():
             raise ValueError("trace_dir must be a non-empty path (or None)")
+        if self.run_registry is not None and not str(self.run_registry).strip():
+            raise ValueError("run_registry must be a non-empty path (or None)")
         if not isinstance(self.cluster, ClusterParams):
             raise ValueError("cluster must be a ClusterParams instance")
         self.cluster.validate()
@@ -260,6 +281,12 @@ class PastisParams:
     def trace_enabled(self) -> bool:
         """Whether the run records spans (``trace_dir`` implies ``trace``)."""
         return self.trace or self.trace_dir is not None
+
+    @property
+    def metrics_enabled(self) -> bool:
+        """Whether the run collects metrics (``run_registry`` implies it:
+        a manifest without its metrics snapshot would be half a record)."""
+        return self.metrics or self.run_registry is not None
 
     @property
     def alphabet(self) -> Alphabet:

@@ -53,6 +53,9 @@ from ..graph.api import ClusteringResult, cluster_similarity_graph
 from ..metrics.memory import MemoryTracker
 from ..metrics.timers import TimerRegistry
 from ..mpi.communicator import SimCommunicator
+from ..obs import LedgerFanout, MetricsHub, activate_metrics, deactivate_metrics
+from ..obs.manifest import build_manifest
+from ..obs.registry import RunRegistry
 from ..trace import TraceRecorder, activate, deactivate, maybe_span, write_trace
 from ..mpi.io import ParallelIoModel
 from ..mpi.process_grid import is_perfect_square
@@ -97,6 +100,9 @@ class SearchResult:
     #: the run's span recorder when ``params.trace``/``trace_dir`` enabled
     #: tracing (None otherwise); see :mod:`repro.trace`
     trace: TraceRecorder | None = None
+    #: the run's metrics hub when ``params.metrics``/``run_registry``
+    #: enabled collection (None otherwise); see :mod:`repro.obs`
+    metrics: MetricsHub | None = None
 
     @property
     def ledger(self):
@@ -129,26 +135,65 @@ class PastisPipeline:
         ``trace.json`` into that directory, on success *and* on failure
         (a partial trace of a crashed run is often the most useful one).
         Tracing never perturbs results.
+
+        With ``params.metrics``/``params.run_registry`` set, the run
+        additionally collects typed metrics into a
+        :class:`repro.obs.MetricsHub` (returned on
+        ``SearchResult.metrics``) and — when ``run_registry`` is set —
+        appends a schema-versioned ``run.json`` manifest to that registry
+        directory, again on success *and* on failure: a crashed run's
+        manifest records its exit status and whatever phase timers had
+        accumulated.  Metrics collection never perturbs results either.
         """
         params = self.params
         tracer = TraceRecorder() if params.trace_enabled else None
+        hub = MetricsHub() if params.metrics_enabled else None
         phases = TimerRegistry()
-        if tracer is None:
-            return self._run_impl(sequences, resume, None, phases)
-        # deep sites without a StageContext (the SUMMA stage loop, MCL
-        # iterations) reach the recorder through the active-tracer global
-        activate(tracer)
+        if tracer is None and hub is None:
+            return self._run_impl(sequences, resume, None, None, phases, None)
+        # the failure path reports from whatever state the run built before
+        # dying; _run_impl fills this in as the pieces come up
+        state = _RunState()
+        if tracer is not None:
+            # deep sites without a StageContext (the SUMMA stage loop, MCL
+            # iterations) reach the recorder through the active-tracer global
+            activate(tracer)
+        if hub is not None:
+            # same pattern for metrics: spgemm_auto dispatch decisions and
+            # the SUMMA stage loop find the hub through the active global
+            activate_metrics(hub)
         try:
-            result = self._run_impl(sequences, resume, tracer, phases)
-        except BaseException:
-            if params.trace_dir is not None:
+            result = self._run_impl(sequences, resume, tracer, hub, phases, state)
+        except BaseException as exc:
+            if tracer is not None and params.trace_dir is not None:
                 try:  # best effort: never mask the run's own failure
                     write_trace(tracer, params.trace_dir)
                 except Exception:
                     pass
+            if params.run_registry is not None:
+                try:  # ditto — and the partial phase timers (the Timer
+                    # context manager accumulates on exceptions) are often
+                    # the only timing a crashed run leaves behind
+                    RunRegistry(params.run_registry).record(
+                        build_manifest(
+                            params=params,
+                            status="error",
+                            error=exc,
+                            scheduler=state.scheduler,
+                            phases=phases,
+                            hub=hub,
+                            comm=state.comm,
+                            cache=state.cache,
+                        )
+                    )
+                except Exception:
+                    pass
             raise
         finally:
-            deactivate()
+            if tracer is not None:
+                deactivate()
+            if hub is not None:
+                deactivate_metrics()
         return result
 
     def _run_impl(
@@ -156,7 +201,9 @@ class PastisPipeline:
         sequences: SequenceSet,
         resume: bool,
         tracer: TraceRecorder | None,
+        hub: MetricsHub | None,
         phases: TimerRegistry,
+        state: "_RunState | None",
     ) -> SearchResult:
         params = self.params
 
@@ -187,10 +234,18 @@ class PastisPipeline:
         wall_start = time.perf_counter()
 
         comm = SimCommunicator(params.nodes)
-        if tracer is not None:
-            # every charge/charge_all bumps the recorder's per-category
-            # cumulative counters, sampled into events at block boundaries
+        if state is not None:
+            state.comm = comm
+        # the ledger's trace hook feeds whichever sinks are active: every
+        # charge/charge_all bumps the tracer's per-category cumulative
+        # counters (sampled into events at block boundaries) and/or the
+        # metrics hub's labeled ledger_seconds counters
+        if tracer is not None and hub is not None:
+            comm.ledger.trace = LedgerFanout(tracer, hub)
+        elif tracer is not None:
             comm.ledger.trace = tracer
+        elif hub is not None:
+            comm.ledger.trace = hub
         cost_model = CostModel(node=comm.cluster.node)
         io_model = ParallelIoModel(cluster=comm.cluster, ledger=comm.ledger)
         # "cluster" is excluded from the Table-IV total: the paper's runtime
@@ -259,7 +314,10 @@ class PastisPipeline:
             stripe_seconds=cost_model.sparse_traversal_seconds(stripe_bytes_per_rank),
             cache=stage_cache,
             trace=tracer,
+            metrics=hub,
         )
+        if state is not None:
+            state.cache = stage_cache
         # scheduler selection: no pre-blocking -> serial; pre-blocking on the
         # modeled clock at depth 1 -> the simulated overlapped scheduler with
         # the paper's contention multipliers; measured clock or speculative
@@ -282,6 +340,8 @@ class PastisPipeline:
             )
         else:
             scheduler = make_scheduler(scheduler_name)
+        if state is not None:
+            state.scheduler = scheduler.name
         with phase("stage_graph"):
             outcome: ScheduleOutcome = scheduler.run(tasks, ctx)
         block_records = outcome.records
@@ -388,8 +448,24 @@ class PastisPipeline:
                 **clustering.summary(),
                 "modeled_seconds": cluster_seconds,
             }
+        if hub is not None:
+            _feed_metrics(hub, phases, stage_cache, outcome, engine, accumulator)
         if tracer is not None and params.trace_dir is not None:
             write_trace(tracer, params.trace_dir)
+        if params.run_registry is not None:
+            RunRegistry(params.run_registry).record(
+                build_manifest(
+                    params=params,
+                    status="ok",
+                    scheduler=scheduler.name,
+                    phases=phases,
+                    hub=hub,
+                    comm=comm,
+                    cache=stage_cache,
+                    stats=stats,
+                    wall_seconds=stats.wall_seconds,
+                )
+            )
         return SearchResult(
             similarity_graph=graph,
             stats=stats,
@@ -403,7 +479,47 @@ class PastisPipeline:
             scheduler=scheduler.name,
             clustering=clustering,
             trace=tracer,
+            metrics=hub,
         )
+
+
+@dataclass
+class _RunState:
+    """What an observed run has built so far — the failure-path manifest
+    reports from whatever subset exists when the run dies."""
+
+    comm: SimCommunicator | None = None
+    cache: StageCache | None = None
+    scheduler: str | None = None
+
+
+def _feed_metrics(hub, phases, stage_cache, outcome, engine, accumulator) -> None:
+    """End-of-run ingestion of everything the hub can't see live:
+    phase timers, cache counters, scheduler lane stats, peak memory.
+    (Ledger seconds and SUMMA kernel records arrive live via the ledger
+    hook and the active-hub global.)"""
+    for name, seconds in phases.summary().items():
+        hub.gauge_set("phase_seconds", seconds, phase=name)
+    if stage_cache is not None:
+        for kind, count in stage_cache.counters().items():
+            hub.counter_add("cache_events", float(count), kind=kind)
+    lanes = outcome.extras.get("process_lanes") or {}
+    for pid, lane in lanes.items():
+        hub.gauge_set(
+            "process_lane_blocks", float(lane.get("blocks", 0)), pid=str(pid)
+        )
+        hub.gauge_set(
+            "process_lane_discover_seconds",
+            float(lane.get("discover_seconds", 0.0)),
+            pid=str(pid),
+        )
+    for key in ("shm_peak_block_bytes", "shm_total_bytes"):
+        if key in outcome.extras:
+            hub.gauge_set(key, float(outcome.extras[key]))
+    hub.gauge_set("peak_block_bytes", float(engine.peak_block_bytes))
+    hub.gauge_set(
+        "peak_live_block_bytes", float(accumulator.peak_live_block_bytes)
+    )
 
 
 def _imbalance_percent(per_rank: np.ndarray) -> float:

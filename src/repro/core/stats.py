@@ -161,6 +161,13 @@ class SearchStats:
             f"  Alignment                     {self.imbalance_align_percent:.1f}",
             f"  Sparse                        {self.imbalance_sparse_percent:.1f}",
         ]
+        phase_seconds = self.extras.get("phase_seconds")
+        if isinstance(phase_seconds, dict) and phase_seconds:
+            lines.append("Phase timers")
+            for name in sorted(phase_seconds):
+                lines.append(
+                    f"  {name:<29} {float(phase_seconds[name]):.3f} s"
+                )
         cache = self.extras.get("cache")
         if isinstance(cache, dict):
             lines += [

@@ -35,6 +35,7 @@ from ..sparse.kernels import (
     resolve_kernel,
 )
 from ..sparse.semiring import Semiring
+from ..obs import current_metrics
 from ..sparse.spgemm import SpGemmStats
 from ..trace import current_tracer
 from .distmat import DistSparseMatrix
@@ -196,6 +197,18 @@ def summa(
     # or a process-pool worker's own journal); summa has no StageContext, so
     # it reaches the tracer through the module-level active-tracer global
     tracer = current_tracer()
+    # kernel dispatch records (measured compression factor + per-kernel
+    # seconds, the raw material for online adaptive dispatch) go to the
+    # active metrics hub the same way — a worker's journaling hub rides the
+    # block header back to the parent
+    metrics = current_metrics()
+    backend_label = ""
+    if metrics is not None:
+        backend_label = (
+            spgemm_backend
+            if isinstance(spgemm_backend, str)
+            else getattr(spgemm_backend, "__name__", "custom")
+        )
 
     for k in range(dim):
         stage_t0 = time.perf_counter() if tracer is not None else 0.0
@@ -239,8 +252,14 @@ def summa(
             partial, pstats = spgemm_kernel(
                 a_block, b_block, semiring, return_stats=True, **kernel_kwargs
             )
-            compute_seconds[rank] += time.perf_counter() - t0
+            kernel_dt = time.perf_counter() - t0
+            compute_seconds[rank] += kernel_dt
             stats = stats.merge(pstats)
+            if metrics is not None:
+                metrics.record_spgemm_stage(
+                    backend_label, k, kernel_dt, pstats.flops,
+                    pstats.compression_factor,
+                )
             if partial.nnz:
                 partials[rank].append(
                     CooMatrix(
@@ -273,8 +292,14 @@ def summa(
             partial, pstats = spgemm_kernel(
                 a_local, b_local, semiring, return_stats=True, **kernel_kwargs
             )
-            compute_seconds[rank] += time.perf_counter() - t0
+            kernel_dt = time.perf_counter() - t0
+            compute_seconds[rank] += kernel_dt
             stats = stats.merge(pstats)
+            if metrics is not None:
+                metrics.record_spgemm_stage(
+                    backend_label, "merge", kernel_dt, pstats.flops,
+                    pstats.compression_factor,
+                )
             # operand coordinates were global, so the output already is too
             per_rank.append(
                 CooMatrix(output_shape, partial.rows, partial.cols, partial.values, check=False)

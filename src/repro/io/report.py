@@ -40,9 +40,16 @@ def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[
     ``process_lane_discover_seconds`` keys (worker count, total blocks they
     computed, total discover-lane seconds), so scheduler comparisons diff on
     scalars; ``shm_peak_block_bytes`` / ``shm_total_bytes`` /
-    ``peak_live_blocks`` already arrive flat through the extras merge.
+    ``peak_live_blocks`` already arrive flat through the extras merge.  The
+    phase-timer map (``extras["phase_seconds"]``) is hoisted the same way,
+    to flat ``phase_<name>_seconds`` keys, which is also what makes phase
+    times visible to ``python -m repro.obs regress`` over saved reports.
     """
     report = _jsonable(stats.as_dict())
+    phase_seconds = report.get("phase_seconds")
+    if isinstance(phase_seconds, dict):
+        for name, seconds in phase_seconds.items():
+            report.setdefault(f"phase_{name}_seconds", float(seconds))
     cache = report.get("cache")
     if isinstance(cache, dict):
         report.setdefault("cache_hits", cache.get("hits", 0))

@@ -74,6 +74,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import current_metrics
 from .coo import CooMatrix
 from .gustavson import spgemm_gustavson
 from .spgemm import SpGemmStats, spgemm
@@ -262,11 +263,16 @@ def spgemm_auto(
         AUTO_COMPRESSION_THRESHOLD if compression_threshold is None else compression_threshold
     )
     is_csr = hasattr(a, "indptr") or hasattr(b, "indptr")
-    if (
-        is_csr
-        or batch_flops is not None
-        or predict_compression_factor(a, b) >= threshold
-    ):
+    predicted = None
+    if not is_csr and batch_flops is None:
+        predicted = predict_compression_factor(a, b)
+    use_gustavson = is_csr or batch_flops is not None or predicted >= threshold
+    hub = current_metrics()
+    if hub is not None:
+        # routing decisions feed the adaptive-dispatch trajectory: which
+        # kernel ran, and the predicted CF when one was computed
+        hub.record_dispatch("gustavson" if use_gustavson else "expand", predicted)
+    if use_gustavson:
         kwargs = {} if batch_flops is None else {"batch_flops": batch_flops}
         return spgemm_gustavson(a, b, semiring, return_stats=return_stats, **kwargs)
     return spgemm(a, b, semiring, return_stats=return_stats)
