@@ -1,0 +1,194 @@
+"""Serving benchmark: warm-index query batches vs. cold all-vs-all.
+
+The serving claim the index has to earn: once a database is indexed, a
+small query batch is answered by computing *one block row* against stripes
+replayed from disk, instead of recomputing the whole all-vs-all product.
+This benchmark builds the index once (the amortized cost), then times
+
+* the cold path — a full all-vs-all pipeline run over the database, which
+  is what answering any query would cost without an index; and
+* the warm path — a ``mode="query"`` run of a small batch against the
+  persisted index, plus a :class:`~repro.serve.QueryBatcher` drain of
+  several requests to exercise the modeled request queue.
+
+Writes ``benchmarks/results/BENCH_serve.json``.  Smoke mode asserts the
+serving contract CI cares about: the warm query run is faster than the
+cold all-vs-all run, every query's partner set matches its all-vs-all
+neighborhood, and the batcher's queue books reconcile exactly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.params import PastisParams
+from repro.core.pipeline import PastisPipeline
+from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
+from repro.serve import KmerIndex, QueryBatcher, build_index
+
+from _results import save_results
+
+#: Same seeded workload family as bench_pipeline/bench_cache, so the
+#: artifacts are comparable run-for-run across commits.
+WORKLOAD = dict(
+    n_sequences=120,
+    family_fraction=0.75,
+    mean_family_size=5.0,
+    mutation_rate=0.09,
+    fragment_probability=0.1,
+    seed=97,
+)
+
+N_QUERIES = 8
+
+
+def run_serve_comparison(workload: dict, num_blocks: int = 4, nodes: int = 4) -> dict:
+    """Build an index, then time cold all-vs-all vs. warm query batches."""
+    seqs = synthetic_dataset(config=SyntheticDatasetConfig(**workload))
+    params = PastisParams(
+        kmer_length=5,
+        common_kmer_threshold=1,
+        nodes=nodes,
+        num_blocks=num_blocks,
+        load_balancing="index",
+        cache_dir=None,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as index_dir:
+        t0 = time.perf_counter()
+        build_index(seqs, params, index_dir, force=True)
+        build_seconds = time.perf_counter() - t0
+        index = KmerIndex.open(index_dir)
+
+        # cold path: what answering a batch costs without an index
+        t0 = time.perf_counter()
+        cold = PastisPipeline(params).run(seqs)
+        cold_seconds = time.perf_counter() - t0
+
+        # warm path: a small member batch served from the persisted index
+        qparams = params.replace(mode="query", index_dir=index_dir)
+        queries = seqs.subset(np.arange(N_QUERIES))
+        t0 = time.perf_counter()
+        warm = PastisPipeline(qparams).run(queries)
+        warm_seconds = time.perf_counter() - t0
+
+        # each query's partner set must be its all-vs-all neighborhood
+        edges = cold.similarity_graph.edges
+        qedges = warm.similarity_graph.edges
+        neighborhoods_match = True
+        for q in range(N_QUERIES):
+            expected = set(edges["col"][edges["row"] == q]) | set(
+                edges["row"][edges["col"] == q]
+            )
+            got = set(qedges["col"][qedges["row"] == q]) | set(
+                qedges["row"][qedges["col"] == q]
+            )
+            got.discard(q)
+            if got != {int(p) for p in expected}:
+                neighborhoods_match = False
+
+        # the request queue: several requests coalesced and drained
+        batcher = QueryBatcher(index_dir, params, max_batch_queries=N_QUERIES)
+        for lo in range(0, 3 * N_QUERIES, N_QUERIES // 2):
+            batcher.submit(seqs.subset(np.arange(lo, lo + N_QUERIES // 2)))
+        t0 = time.perf_counter()
+        answers = batcher.drain()
+        drain_seconds = time.perf_counter() - t0
+        queue = batcher.queue_summary()
+
+        return {
+            "workload": dict(workload),
+            "num_blocks": num_blocks,
+            "nodes": nodes,
+            "n_queries": N_QUERIES,
+            "index": {
+                "build_seconds": build_seconds,
+                "payload_bytes": index.payload_bytes(),
+                "nnz": index.nnz,
+                "stripes": index.bc,
+            },
+            "cold_all_vs_all_seconds": cold_seconds,
+            "warm_query_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "neighborhoods_match": neighborhoods_match,
+            "batcher": {
+                "requests": len(answers),
+                "total_matches": sum(a.total_matches for a in answers),
+                "drain_seconds": drain_seconds,
+                **queue,
+            },
+            "similar_pairs_all_vs_all": cold.stats.similar_pairs,
+            "similar_pairs_query": warm.stats.similar_pairs,
+        }
+
+
+def _print_report(out: dict) -> None:
+    header = f"{'path':<22} {'wall s':>10}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'index build':<22} {out['index']['build_seconds']:>10.4f}")
+    print(f"{'cold all-vs-all':<22} {out['cold_all_vs_all_seconds']:>10.4f}")
+    print(f"{'warm query batch':<22} {out['warm_query_seconds']:>10.4f}")
+    queue = out["batcher"]
+    print(
+        f"warm batch of {out['n_queries']} x{out['warm_speedup']:.2f} over cold; "
+        f"index {out['index']['payload_bytes']:,} B on disk; "
+        f"neighborhoods match: {out['neighborhoods_match']}"
+    )
+    print(
+        f"batcher: {queue['requests']} requests -> {queue['batches']} batches, "
+        f"queue clock {queue['clock_seconds']:.6f}s modeled "
+        f"(serial {queue['serial_clock_seconds']:.6f}s, "
+        f"hidden {queue['hidden_seconds']:.6f}s)"
+    )
+
+
+def _check(out: dict) -> None:
+    assert out["warm_speedup"] > 1.0, (
+        "serving a warm-index query batch was slower than a cold all-vs-all run"
+    )
+    assert out["neighborhoods_match"], (
+        "query-mode partner sets diverged from the all-vs-all neighborhoods"
+    )
+    queue = out["batcher"]
+    assert queue["identity_residual"] < 1e-9, "queue books do not reconcile"
+    assert queue["clock_seconds"] <= queue["serial_clock_seconds"] + 1e-12, (
+        "overlapped queue clock exceeded the serial clock"
+    )
+
+
+def test_serve_benchmark(benchmark, bench_sequences, bench_params):
+    """Warm-index query batch benchmark (pytest-benchmark)."""
+    out = run_serve_comparison(WORKLOAD)
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as index_dir:
+        build_index(bench_sequences, bench_params, index_dir, force=True)
+        qparams = bench_params.replace(mode="query", index_dir=index_dir)
+        queries = bench_sequences.subset(np.arange(N_QUERIES))
+        benchmark(lambda: PastisPipeline(qparams).run(queries))
+    benchmark.extra_info["warm_speedup"] = out["warm_speedup"]
+    benchmark.extra_info["index_payload_bytes"] = out["index"]["payload_bytes"]
+    save_results("BENCH_serve", out)
+    _print_report(out)
+    _check(out)
+
+
+def _smoke() -> None:
+    """Standalone comparison (no pytest-benchmark needed) — used by CI."""
+    out = run_serve_comparison(WORKLOAD)
+    _print_report(out)
+    save_results("BENCH_serve", out)
+    _check(out)
+    print("smoke OK: warm-index query batch beats cold all-vs-all, neighborhoods "
+          "match, and the request-queue books reconcile")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv:
+        _smoke()
+    else:
+        sys.exit("usage: python benchmarks/bench_serve.py --smoke "
+                 "(full benchmarks run via: pytest benchmarks/ --benchmark-only)")

@@ -61,7 +61,7 @@ from ..params import PastisParams
 #: Cache schema / kernel-suite version.  Bump whenever the on-disk entry
 #: layout changes or a kernel change makes previously stored results stale;
 #: combined with the package version into every key (see :func:`version_tag`).
-CACHE_VERSION = "1"
+CACHE_VERSION = "2"
 
 #: Ledger counters charged exclusively by the discover lane (inside
 #: ``summa``); captured and restored per block alongside the lane's time
@@ -128,6 +128,7 @@ def params_cache_token(params: PastisParams) -> dict:
     """
     br, bc = params.blocking_factors()
     return {
+        "mode": params.mode,
         "kmer_length": params.kmer_length,
         "seed_alphabet": params.seed_alphabet,
         "substitute_kmers": params.substitute_kmers,
@@ -174,12 +175,22 @@ def stripe_digest(stripe: DistSparseMatrix) -> str:
     return h.hexdigest()
 
 
-def run_cache_key(params: PastisParams, sequences: SequenceSet) -> str:
-    """Run-level key: version tag + canonical params + input digest."""
+def run_cache_key(
+    params: PastisParams, sequences: SequenceSet, extra_digest: str | None = None
+) -> str:
+    """Run-level key: version tag + canonical params + input digest.
+
+    ``extra_digest`` folds in a second content digest when the run consumes
+    an input beyond ``sequences`` — query-mode runs pass the database's
+    ``sequence_digest`` (two databases can share identical k-mer stripes
+    yet differ in sub-k sequences' residues, which changes alignment).
+    """
     h = hashlib.sha256()
     h.update(version_tag().encode())
     h.update(json.dumps(params_cache_token(params), sort_keys=True).encode())
     h.update(sequence_digest(sequences).encode())
+    if extra_digest is not None:
+        h.update(extra_digest.encode())
     return h.hexdigest()
 
 
@@ -395,6 +406,7 @@ def build_stage_cache(
     *,
     read: bool = True,
     write: bool = True,
+    extra_digest: str | None = None,
 ) -> StageCache:
     """Key every block of the run and open (or create) its cache directory.
 
@@ -402,10 +414,12 @@ def build_stage_cache(
     same stripes ``compute_block`` re-slices per block — so a block's key
     covers exactly the inputs it consumes.  A human-readable ``manifest.json``
     (version tag + canonical params + input digest) is dropped next to the
-    entries for debuggability.
+    entries for debuggability.  ``extra_digest`` is folded into the run key
+    (see :func:`run_cache_key`); query-mode runs pass the database index's
+    sequence digest.
     """
     schedule = engine.schedule
-    run_key = run_cache_key(params, sequences)
+    run_key = run_cache_key(params, sequences, extra_digest)
     row_digests = {
         r: stripe_digest(engine.a.row_stripe(schedule.row_range(r)))
         for r in range(schedule.br)
@@ -436,6 +450,7 @@ def build_stage_cache(
                     "version_tag": version_tag(),
                     "params": params_cache_token(params),
                     "sequence_digest": sequence_digest(sequences),
+                    "extra_digest": extra_digest,
                     "run_key": run_key,
                 },
                 indent=2,

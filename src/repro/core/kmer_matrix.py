@@ -55,16 +55,38 @@ class KmerMatrixInfo:
         }
 
 
-def build_kmer_coo(sequences: SequenceSet, params: PastisParams) -> tuple[CooMatrix, KmerMatrixInfo]:
-    """Build the global (undistributed) sequence-by-k-mer COO matrix."""
-    t0 = time.perf_counter()
+def extract_seed_triples(
+    sequences: SequenceSet,
+    params: PastisParams,
+    *,
+    apply_frequency_filter: bool = True,
+    banned_kmers: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int, KmerExtractor]:
+    """Extract the seed (seq, k-mer, position) triples, substitutes included.
+
+    Returns ``(seq_ids, kmer_ids, positions, occurrences, substitute_nnz,
+    extractor)`` in the exact entry order :func:`build_kmer_coo` has always
+    produced — exact occurrences first (per sequence, position-ascending),
+    then substitutes grouped by neighbour rank.  That ordering is load-bearing:
+    deduplication keeps the last entry per coordinate, so two extractions must
+    interleave a row's duplicates identically to produce bitwise-equal rows.
+
+    The query-vs-database path (:mod:`repro.serve.query`) reuses this with
+    ``apply_frequency_filter=False`` and the database's persisted banned
+    k-mer set: ``max_kmer_frequency`` is a *global* filter over the database,
+    so queries drop the database's banned ids instead of recounting — which
+    is what keeps a member query's row bitwise equal to its database row.
+    """
     alphabet = params.alphabet
     extractor = KmerExtractor(
         k=params.kmer_length,
         alphabet=alphabet,
-        max_kmer_frequency=params.max_kmer_frequency,
+        max_kmer_frequency=params.max_kmer_frequency if apply_frequency_filter else None,
     )
     seq_ids, kmer_ids, positions = extractor.extract(sequences)
+    if banned_kmers is not None and banned_kmers.size and kmer_ids.size:
+        keep = ~np.isin(kmer_ids, banned_kmers)
+        seq_ids, kmer_ids, positions = seq_ids[keep], kmer_ids[keep], positions[keep]
     occurrences = int(seq_ids.size)
 
     substitute_nnz = 0
@@ -86,7 +108,15 @@ def build_kmer_coo(sequences: SequenceSet, params: PastisParams) -> tuple[CooMat
         seq_ids = np.concatenate([seq_ids, seq_ids[src_idx]])
         kmer_ids = np.concatenate([kmer_ids, neighbor_ids])
         positions = np.concatenate([positions, positions[src_idx]])
+    return seq_ids, kmer_ids, positions, occurrences, substitute_nnz, extractor
 
+
+def build_kmer_coo(sequences: SequenceSet, params: PastisParams) -> tuple[CooMatrix, KmerMatrixInfo]:
+    """Build the global (undistributed) sequence-by-k-mer COO matrix."""
+    t0 = time.perf_counter()
+    seq_ids, kmer_ids, positions, occurrences, substitute_nnz, extractor = (
+        extract_seed_triples(sequences, params)
+    )
     shape = (len(sequences), extractor.space_size())
     coo = CooMatrix(shape, seq_ids, kmer_ids, positions.astype(np.int32), check=False)
     # one entry per (sequence, k-mer): keep the first position

@@ -175,6 +175,32 @@ class PastisParams:
         totals, cache counters, peak memory, exit status) inspectable with
         ``python -m repro.obs ls|show|diff|export|regress``.  Implies
         ``metrics=True``.
+    mode:
+        ``"all_vs_all"`` (default: search the input against itself) or
+        ``"query"`` (search the input against a persistent database index,
+        see :mod:`repro.serve`).  Query mode loads the database operand's
+        column stripes from ``index_dir`` instead of recomputing them and
+        runs the one-sided product ``A_query · B_dbᵀ`` through the same
+        engine; results are bit-identical to the corresponding rows of an
+        all-vs-all run over the database (the serve contract, asserted in
+        ``tests/test_query_mode.py``).
+    index_dir:
+        Directory of the database index built by
+        :func:`repro.serve.index.build_index` /
+        ``python -m repro.serve build``.  Required (and only meaningful)
+        with ``mode="query"``.  The run refuses indexes whose digests or
+        build parameters don't match (stale indexes never silently
+        mis-answer).
+    query_dedup:
+        Query-mode candidate semantics.  ``False`` (default, the serving
+        semantics): every query keeps all its non-self candidates, so row
+        ``q`` of the output contains each match of ``q`` exactly once.
+        ``True`` (the sharding/contract semantics): apply the configured
+        ``load_balancing`` scheme's symmetric prune in database
+        coordinates, making the run the literal row-restriction of the
+        all-vs-all stage graph — partitioned query runs union to exactly
+        the all-vs-all edge set.  Requires every query to be a database
+        member (novel sequences have no database row to dedup against).
     """
 
     kmer_length: int = 6
@@ -208,6 +234,9 @@ class PastisParams:
     trace_dir: str | None = None
     metrics: bool = False
     run_registry: str | None = None
+    mode: str = "all_vs_all"
+    index_dir: str | None = None
+    query_dedup: bool = False
     substitution_matrix: np.ndarray = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -261,6 +290,16 @@ class PastisParams:
             raise ValueError("trace_dir must be a non-empty path (or None)")
         if self.run_registry is not None and not str(self.run_registry).strip():
             raise ValueError("run_registry must be a non-empty path (or None)")
+        if self.mode not in ("all_vs_all", "query"):
+            raise ValueError(f"mode must be 'all_vs_all' or 'query', got {self.mode!r}")
+        if self.mode == "query" and (
+            self.index_dir is None or not str(self.index_dir).strip()
+        ):
+            raise ValueError("mode='query' requires index_dir (a built serve index)")
+        if self.index_dir is not None and self.mode != "query":
+            raise ValueError("index_dir is only meaningful with mode='query'")
+        if self.query_dedup and self.mode != "query":
+            raise ValueError("query_dedup is only meaningful with mode='query'")
         if not isinstance(self.cluster, ClusterParams):
             raise ValueError("cluster must be a ClusterParams instance")
         self.cluster.validate()

@@ -103,6 +103,10 @@ class SearchResult:
     #: the run's metrics hub when ``params.metrics``/``run_registry``
     #: enabled collection (None otherwise); see :mod:`repro.obs`
     metrics: MetricsHub | None = None
+    #: query mode only: global output row of each input query, in input
+    #: order (database members keep their database row, novel queries get
+    #: appended rows ``>= n_db``); None for all-vs-all runs
+    query_rows: np.ndarray | None = None
 
     @property
     def ledger(self):
@@ -225,7 +229,8 @@ class PastisPipeline:
                 "resume=True reads the cache; cache_invalidate=True forces "
                 "recomputation — pick one"
             )
-        if len(sequences) < 2:
+        query_mode = params.mode == "query"
+        if not query_mode and len(sequences) < 2:
             raise ValueError("need at least two sequences to search")
         if not is_perfect_square(params.nodes):
             raise ValueError(
@@ -254,17 +259,31 @@ class PastisPipeline:
         scoring_category_exclude = ("spgemm_measured", OVERLAP_HIDDEN_CATEGORY, "cluster")
 
         # ---- input IO and sequence exchange -------------------------------------
+        # query mode reads the persistent database operand (stripe shards +
+        # residues) instead of re-deriving it; the index open/validate happens
+        # inside the IO phase because a refused index is an input failure
+        plan = None
+        if query_mode:
+            from ..serve.query import open_index_for, prepare_query_run
+
+            index = open_index_for(params)
         with phase("input_io"):
             io_model.collective_read(
                 ParallelIoModel.fasta_bytes(sequences.total_residues, len(sequences))
             )
+            if query_mode:
+                io_model.collective_read(index.payload_bytes())
             distribute_sequences(sequences, comm, category="cwait")
 
         # ---- sequence-by-k-mer matrix --------------------------------------------
         with phase("kmer_matrix"):
-            a_dist, at_dist, kmer_info = build_distributed_kmer_matrix(
-                sequences, params, comm
-            )
+            if query_mode:
+                plan = prepare_query_run(params, sequences, index, comm)
+                kmer_info = plan.kmer_info
+            else:
+                a_dist, at_dist, kmer_info = build_distributed_kmer_matrix(
+                    sequences, params, comm
+                )
             kmer_bytes = kmer_info.nnz * (8 + 8 + 4)
             comm.ledger.charge_all(
                 "sparse_other",
@@ -274,10 +293,17 @@ class PastisPipeline:
             )
 
         # ---- stage graph: blocked overlap computation + alignment ------------------
-        schedule, scheme, tasks = make_block_tasks(len(sequences), params)
+        if query_mode:
+            a_dist, b_operand = plan.a_dist, plan.b
+            schedule, scheme, tasks = plan.schedule, plan.scheme, plan.tasks
+            align_sequences, n_vertices = plan.align_sequences, plan.n_vertices
+        else:
+            schedule, scheme, tasks = make_block_tasks(len(sequences), params)
+            b_operand = at_dist
+            align_sequences, n_vertices = sequences, len(sequences)
         engine = BlockedSpGemm(
             a_dist,
-            at_dist,
+            b_operand,
             OverlapSemiring(),
             schedule,
             compute_category="spgemm_measured",
@@ -285,22 +311,42 @@ class PastisPipeline:
             batch_flops=params.batch_flops,
             auto_compression_threshold=params.auto_compression_threshold,
         )
-        aligner = AlignmentPhase(sequences, params, comm, cost_model)
-        accumulator = StreamingGraphAccumulator(n_vertices=len(sequences))
+        aligner = AlignmentPhase(align_sequences, params, comm, cost_model)
+        accumulator = StreamingGraphAccumulator(n_vertices=n_vertices)
         # every block re-traverses its row/column stripes of A and Aᵀ — the
         # "split sparse computations" overhead of §VI-A that makes the sparse
-        # multiply grow with the number of blocks
+        # multiply grow with the number of blocks.  Query mode models both
+        # stripe terms from the *database* operand: the stripes traversed are
+        # database-coordinate stripes whatever the query set's density, which
+        # is also what keeps query-mode records bit-identical to the
+        # corresponding all-vs-all rows
+        if query_mode:
+            stripe_row_nnz = stripe_col_nnz = plan.index.nnz
+        else:
+            stripe_row_nnz, stripe_col_nnz = a_dist.nnz, b_operand.nnz
         stripe_bytes_per_rank = (
-            (a_dist.nnz / schedule.br + at_dist.nnz / schedule.bc) / comm.size * 20.0
+            (stripe_row_nnz / schedule.br + stripe_col_nnz / schedule.bc)
+            / comm.size
+            * 20.0
         )
         stage_cache: StageCache | None = None
         if params.cache_dir is not None:
+            # the cache token records the blocking the run actually executes
+            # (query mode pins bc to the index's stripes) and, in query mode,
+            # the database's content digest — two databases can share k-mer
+            # stripes yet differ in sub-k residues, which changes alignment
+            cache_params = (
+                params.replace(blocking=(schedule.br, schedule.bc))
+                if query_mode
+                else params
+            )
             stage_cache = build_stage_cache(
-                params,
+                cache_params,
                 sequences,
                 engine,
                 read=not params.cache_invalidate,
                 write=True,
+                extra_digest=index.sequence_digest if query_mode else None,
             )
         ctx = StageContext(
             params=params,
@@ -441,6 +487,15 @@ class PastisPipeline:
         )
         # scheduler-specific report entries (process-lane timings, shm bytes)
         stats.extras.update(outcome.extras)
+        if query_mode:
+            stats.extras["query"] = {
+                "n_queries": len(sequences),
+                "members": plan.n_members,
+                "novel": plan.n_novel,
+                "db_sequences": index.n_sequences,
+                "index_dir": str(params.index_dir),
+                "dedup": bool(params.query_dedup),
+            }
         if stage_cache is not None:
             stats.extras["cache"] = stage_cache.counters()
         if clustering is not None:
@@ -480,6 +535,7 @@ class PastisPipeline:
             clustering=clustering,
             trace=tracer,
             metrics=hub,
+            query_rows=plan.query_rows if query_mode else None,
         )
 
 

@@ -1,0 +1,157 @@
+"""Per-rank stripe shards: the on-disk form of a distributed operand.
+
+The serving index (:mod:`repro.serve.index`) persists the database operand
+``Bᵀ = A_dbᵀ`` as the exact column stripes Blocked SUMMA consumes: for each
+output block column ``c`` and each rank ``r``, one ``.npz`` shard holding
+the rank's local COO piece of ``B.col_stripe(col_range(c))`` together with
+its global placement offsets.  Loading the shards of a stripe reconstructs
+a :class:`~repro.distsparse.distmat.DistSparseMatrix` *bitwise identical*
+to the one an all-vs-all run would slice out of the freshly built matrix —
+which is what keeps the PR 6 stage-cache stripe digests honest across the
+build/serve boundary.
+
+:class:`ShardedStripeMatrix` is the lazy B-side operand adapter: it exposes
+exactly the surface :class:`~repro.distsparse.blocked_summa.BlockedSpGemm`
+touches (``shape``, ``col_stripe``) plus ``nnz`` for the pipeline's stripe
+cost model, loading and digest-verifying each stripe on first use.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..config import atomic_write_bytes
+from ..mpi.communicator import SimCommunicator
+from ..sparse.coo import CooMatrix
+from .distmat import DistSparseMatrix
+
+
+def shard_filename(stripe: int, rank: int) -> str:
+    """Canonical shard file name for (block column, rank)."""
+    return f"stripe-{stripe:05d}-rank-{rank:03d}.npz"
+
+
+def write_shard(path: Path, block: CooMatrix, row_offset: int, col_offset: int) -> int:
+    """Atomically persist one rank's piece of a column stripe; returns bytes."""
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        rows=block.rows,
+        cols=block.cols,
+        values=block.values,
+        shape=np.asarray(block.shape, dtype=np.int64),
+        row_offset=np.int64(row_offset),
+        col_offset=np.int64(col_offset),
+    )
+    data = buffer.getvalue()
+    atomic_write_bytes(path, data)
+    return len(data)
+
+
+def read_shard(path: Path) -> tuple[CooMatrix, int, int]:
+    """Parse one shard file back into (local block, row offset, col offset).
+
+    Raises on any malformation; callers wrap failures into the serve-layer
+    integrity error naming the offending file.
+    """
+    with np.load(io.BytesIO(path.read_bytes()), allow_pickle=False) as npz:
+        missing = {"rows", "cols", "values", "shape", "row_offset", "col_offset"} - set(
+            npz.files
+        )
+        if missing:
+            raise ValueError(f"shard missing fields: {sorted(missing)}")
+        shape = tuple(int(x) for x in npz["shape"])
+        if len(shape) != 2:
+            raise ValueError(f"shard shape field has {len(shape)} dimensions")
+        block = CooMatrix(shape, npz["rows"], npz["cols"], npz["values"])
+        return block, int(npz["row_offset"]), int(npz["col_offset"])
+
+
+def write_stripe_shards(
+    directory: Path, stripe: int, matrix: DistSparseMatrix
+) -> tuple[list[str], int]:
+    """Persist every rank's piece of one column stripe; returns (names, bytes)."""
+    names: list[str] = []
+    total = 0
+    for rank in range(matrix.grid.nprocs):
+        name = shard_filename(stripe, rank)
+        row_offset, col_offset = matrix.offsets(rank)
+        total += write_shard(directory / name, matrix.local(rank), row_offset, col_offset)
+        names.append(name)
+    return names, total
+
+
+def load_stripe_shards(
+    directory: Path, stripe: int, shape: tuple[int, int], comm: SimCommunicator
+) -> DistSparseMatrix:
+    """Reassemble one column stripe from its per-rank shard files.
+
+    ``shape`` is the *full* operand shape: stripes keep global offsets (the
+    same convention as :meth:`DistSparseMatrix.col_stripe`), so SUMMA output
+    coordinates stay global.
+    """
+    grid = comm.require_grid()
+    blocks: list[CooMatrix] = []
+    row_offsets: list[int] = []
+    col_offsets: list[int] = []
+    for rank in range(grid.nprocs):
+        block, row_offset, col_offset = read_shard(directory / shard_filename(stripe, rank))
+        blocks.append(block)
+        row_offsets.append(row_offset)
+        col_offsets.append(col_offset)
+    return DistSparseMatrix(shape, comm, blocks, row_offsets, col_offsets)
+
+
+@dataclass
+class ShardedStripeMatrix:
+    """Disk-backed B-side operand for :class:`BlockedSpGemm`.
+
+    Quacks like the column-stripe source SUMMA needs — ``shape`` and
+    ``col_stripe(col_range)`` — but serves stripes from the index shards,
+    loaded lazily and verified against their stamped digests on first use.
+    Only the exact column ranges the index was blocked with are available;
+    asking for any other range is a contract violation, not a recompute.
+    """
+
+    shape: tuple[int, int]
+    nnz: int
+    #: global column range of each stored stripe, in stripe order
+    col_ranges: list[tuple[int, int]]
+    #: loads (and digest-verifies) stripe ``c`` as a DistSparseMatrix
+    loader: Callable[[int], DistSparseMatrix]
+    _by_range: dict[tuple[int, int], int] = field(init=False, repr=False)
+    _loaded: dict[int, DistSparseMatrix] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.shape = (int(self.shape[0]), int(self.shape[1]))
+        self._by_range = {
+            (int(lo), int(hi)): c for c, (lo, hi) in enumerate(self.col_ranges)
+        }
+
+    def col_stripe(self, col_range: tuple[int, int]) -> DistSparseMatrix:
+        """The stored stripe covering ``col_range`` (must match exactly)."""
+        key = (int(col_range[0]), int(col_range[1]))
+        if key not in self._by_range:
+            raise ValueError(
+                f"index has no stripe for column range {key}; stored stripes "
+                f"cover {sorted(self._by_range)} — the run's blocking must "
+                "match the blocking the index was built with"
+            )
+        c = self._by_range[key]
+        if c not in self._loaded:
+            self._loaded[c] = self.loader(c)
+        return self._loaded[c]
+
+    def preload(self) -> None:
+        """Load (and verify) every stripe up front."""
+        for lo_hi in list(self._by_range):
+            self.col_stripe(lo_hi)
+
+    @property
+    def loaded_stripes(self) -> int:
+        return len(self._loaded)

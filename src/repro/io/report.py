@@ -44,6 +44,9 @@ def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[
     phase-timer map (``extras["phase_seconds"]``) is hoisted the same way,
     to flat ``phase_<name>_seconds`` keys, which is also what makes phase
     times visible to ``python -m repro.obs regress`` over saved reports.
+    Query-mode runs (``extras["query"]``, see :mod:`repro.serve`) hoist to
+    flat ``query_*`` keys (``query_n_queries`` / ``query_members`` /
+    ``query_novel`` / ``query_db_sequences``) for the same reason.
     """
     report = _jsonable(stats.as_dict())
     phase_seconds = report.get("phase_seconds")
@@ -65,6 +68,11 @@ def run_report(stats: SearchStats, extra: dict[str, Any] | None = None) -> dict[
             "process_lane_discover_seconds",
             sum(float(lane.get("discover_seconds", 0.0)) for lane in lanes.values()),
         )
+    query = report.get("query")
+    if isinstance(query, dict):
+        for key in ("n_queries", "members", "novel", "db_sequences"):
+            if key in query:
+                report.setdefault(f"query_{key}", int(query[key]))
     if extra:
         report.update(_jsonable(extra))
     return report

@@ -1,0 +1,401 @@
+"""The persistent database k-mer index.
+
+``build_index`` runs the batch pipeline's own k-mer matrix construction
+(:func:`repro.core.kmer_matrix.build_kmer_coo`) once over the database,
+partitions the transposed operand ``Bᵀ = A_dbᵀ`` onto the 2D process grid,
+and persists it as the exact per-rank column-stripe shards Blocked SUMMA
+consumes (:mod:`repro.distsparse.shards`).  Every artifact is stamped with
+the same content digests the PR 6 stage cache keys on —
+:func:`repro.core.engine.cache.sequence_digest` for the database residues,
+:func:`repro.core.engine.cache.stripe_digest` per stripe — so a query run
+served from the index produces byte-for-byte the cache keys an all-vs-all
+run over the database would.
+
+Disk layout (all files written atomically, ``index.json`` last so a
+killed build never leaves a manifest pointing at missing shards)::
+
+    index_dir/
+      index.json                       # manifest: format/version, digests,
+                                       #   blocking, canonical params token
+      sequences.npz                    # residues + names + banned k-mer ids
+      shards/stripe-CCCCC-rank-RRR.npz # rank R's piece of column stripe C
+
+Failure taxonomy: :class:`IndexIntegrityError` — the index contradicts its
+own stamps (tampered sequences, corrupt or truncated shard); never answered
+from, always refused with the offending file named.
+:class:`IndexCompatibilityError` — the index is healthy but was built with
+different parameters than the run asking to use it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..config import atomic_write_bytes, atomic_write_text
+from ..core.engine.cache import sequence_digest, stripe_digest
+from ..core.kmer_matrix import KmerMatrixInfo, build_kmer_coo
+from ..core.params import PastisParams
+from ..distsparse.blocked_summa import BlockSchedule
+from ..distsparse.distmat import DistSparseMatrix
+from ..distsparse.shards import (
+    ShardedStripeMatrix,
+    load_stripe_shards,
+    shard_filename,
+    write_stripe_shards,
+)
+from ..mpi.communicator import SimCommunicator
+from ..mpi.process_grid import is_perfect_square
+from ..sequences.alphabet import MURPHY10, PROTEIN
+from ..sequences.kmers import KmerExtractor
+from ..sequences.sequence import SequenceSet
+
+INDEX_FORMAT = "pastis-kmer-index"
+INDEX_VERSION = 1
+MANIFEST_NAME = "index.json"
+SEQUENCES_NAME = "sequences.npz"
+SHARD_DIR = "shards"
+
+_ALPHABETS = {PROTEIN.name: PROTEIN, MURPHY10.name: MURPHY10}
+
+
+class ServeIndexError(RuntimeError):
+    """Base class of every serve-index failure."""
+
+
+class IndexIntegrityError(ServeIndexError):
+    """The index contradicts its own digest stamps (stale or corrupt)."""
+
+
+class IndexCompatibilityError(ServeIndexError):
+    """The index was built with different parameters than the run needs."""
+
+
+def index_params_token(params: PastisParams) -> dict:
+    """The parameter fields that determine the database operand.
+
+    A query run must match these exactly — they decide which k-mers exist,
+    which are substituted, which are globally banned, and how the operand
+    is laid out over ranks.
+    """
+    return {
+        "kmer_length": params.kmer_length,
+        "seed_alphabet": params.seed_alphabet,
+        "substitute_kmers": params.substitute_kmers,
+        "max_kmer_frequency": params.max_kmer_frequency,
+        "nodes": params.nodes,
+    }
+
+
+def banned_kmer_ids(sequences: SequenceSet, params: PastisParams) -> np.ndarray:
+    """K-mer ids the database's global frequency filter discarded.
+
+    ``max_kmer_frequency`` is a *global* filter over the whole database
+    (:class:`~repro.sequences.kmers.KmerExtractor` counts occurrences across
+    every sequence), so queries cannot recompute it from their own residues;
+    the index persists the banned set and the query-side builder drops these
+    ids before substitution — exactly the entries the database build never
+    saw.
+    """
+    if params.max_kmer_frequency is None:
+        return np.zeros(0, dtype=np.int64)
+    extractor = KmerExtractor(
+        k=params.kmer_length, alphabet=params.alphabet, max_kmer_frequency=None
+    )
+    _, kmer_ids, _ = extractor.extract(sequences)
+    if kmer_ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    unique, counts = np.unique(kmer_ids, return_counts=True)
+    return unique[counts > params.max_kmer_frequency].astype(np.int64)
+
+
+def effective_blocking(params: PastisParams, n_sequences: int) -> tuple[int, int]:
+    """The (br, bc) a pipeline run over ``n_sequences`` would actually use
+    (blocking factors are clamped to the matrix dimensions)."""
+    br, bc = params.blocking_factors()
+    return min(br, n_sequences), min(bc, n_sequences)
+
+
+def build_index(
+    sequences: SequenceSet,
+    params: PastisParams,
+    out_dir: str | Path,
+    *,
+    force: bool = False,
+) -> "KmerIndex":
+    """Build and persist the database index; returns the opened index."""
+    if len(sequences) < 1:
+        raise ValueError("need at least one database sequence to index")
+    if not is_perfect_square(params.nodes):
+        raise ValueError(
+            f"nodes={params.nodes} must be a perfect square (2D process grid requirement)"
+        )
+    out = Path(out_dir)
+    manifest_path = out / MANIFEST_NAME
+    if manifest_path.exists() and not force:
+        raise ServeIndexError(
+            f"refusing to overwrite existing index at {out} (pass force=True / --force)"
+        )
+    shard_dir = out / SHARD_DIR
+    shard_dir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.perf_counter()
+    comm = SimCommunicator(params.nodes)
+    coo, info = build_kmer_coo(sequences, params)
+    bt = DistSparseMatrix.from_global_coo(coo.transpose(), comm)
+    _, bc = effective_blocking(params, len(sequences))
+    schedule = BlockSchedule(n_rows=len(sequences), n_cols=len(sequences), br=1, bc=bc)
+
+    stripes: list[dict] = []
+    shard_bytes = 0
+    for c in range(bc):
+        col_range = schedule.col_range(c)
+        stripe = bt.col_stripe(col_range)
+        names, nbytes = write_stripe_shards(shard_dir, c, stripe)
+        shard_bytes += nbytes
+        stripes.append(
+            {
+                "stripe": c,
+                "col_range": [int(col_range[0]), int(col_range[1])],
+                "digest": stripe_digest(stripe),
+                "files": names,
+                "nnz": int(stripe.nnz),
+                "bytes": int(nbytes),
+            }
+        )
+
+    banned = banned_kmer_ids(sequences, params)
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        data=sequences.data,
+        offsets=sequences.offsets,
+        names=np.asarray([str(name) for name in sequences.names], dtype=np.str_),
+        banned_kmers=banned,
+    )
+    sequences_payload = buffer.getvalue()
+    atomic_write_bytes(out / SEQUENCES_NAME, sequences_payload)
+
+    manifest = {
+        "format": INDEX_FORMAT,
+        "version": INDEX_VERSION,
+        "n_sequences": len(sequences),
+        "kmer_space": int(coo.shape[1]),
+        "nnz": int(coo.nnz),
+        "bc": bc,
+        "alphabet": sequences.alphabet.name,
+        "sequence_digest": sequence_digest(sequences),
+        "params": index_params_token(params),
+        "banned_kmer_count": int(banned.size),
+        "kmer_info": info.as_dict(),
+        "stripes": stripes,
+        "shard_bytes": int(shard_bytes),
+        "sequences_bytes": len(sequences_payload),
+        "build_seconds": time.perf_counter() - t0,
+    }
+    # manifest last: its existence certifies every artifact above it
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return KmerIndex.open(out)
+
+
+@dataclass
+class KmerIndex:
+    """An opened on-disk index (manifest parsed, payloads loaded lazily)."""
+
+    path: Path
+    manifest: dict
+    _sequences: SequenceSet | None = field(default=None, repr=False)
+    _banned: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "KmerIndex":
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise ServeIndexError(f"no index manifest at {manifest_path}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise IndexIntegrityError(f"unreadable index manifest {manifest_path}: {exc}") from exc
+        if manifest.get("format") != INDEX_FORMAT:
+            raise ServeIndexError(
+                f"{manifest_path} is not a {INDEX_FORMAT} manifest "
+                f"(format={manifest.get('format')!r})"
+            )
+        if manifest.get("version") != INDEX_VERSION:
+            raise IndexCompatibilityError(
+                f"index version {manifest.get('version')} unsupported "
+                f"(this build reads version {INDEX_VERSION})"
+            )
+        return cls(path=path, manifest=manifest)
+
+    # ------------------------------------------------------------------ manifest facts
+    @property
+    def n_sequences(self) -> int:
+        return int(self.manifest["n_sequences"])
+
+    @property
+    def kmer_space(self) -> int:
+        return int(self.manifest["kmer_space"])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.manifest["nnz"])
+
+    @property
+    def bc(self) -> int:
+        return int(self.manifest["bc"])
+
+    @property
+    def sequence_digest(self) -> str:
+        return str(self.manifest["sequence_digest"])
+
+    @property
+    def col_ranges(self) -> list[tuple[int, int]]:
+        return [
+            (int(entry["col_range"][0]), int(entry["col_range"][1]))
+            for entry in self.manifest["stripes"]
+        ]
+
+    def kmer_info(self) -> KmerMatrixInfo:
+        """The database build's matrix facts, replayed from the manifest."""
+        return KmerMatrixInfo(**self.manifest["kmer_info"])
+
+    def payload_bytes(self) -> int:
+        """Bytes a serving run reads from disk (shards + sequences)."""
+        return int(self.manifest["shard_bytes"]) + int(self.manifest["sequences_bytes"])
+
+    # ------------------------------------------------------------------ payloads
+    def sequences(self) -> SequenceSet:
+        """The database sequences, digest-verified against the manifest."""
+        if self._sequences is not None:
+            return self._sequences
+        path = self.path / SEQUENCES_NAME
+        try:
+            with np.load(io.BytesIO(path.read_bytes()), allow_pickle=False) as npz:
+                alphabet_name = str(self.manifest["alphabet"])
+                if alphabet_name not in _ALPHABETS:
+                    raise IndexCompatibilityError(
+                        f"index alphabet {alphabet_name!r} unknown to this build"
+                    )
+                sequences = SequenceSet(
+                    data=npz["data"],
+                    offsets=npz["offsets"],
+                    names=[str(name) for name in npz["names"]],
+                    alphabet=_ALPHABETS[alphabet_name],
+                )
+                self._banned = np.asarray(npz["banned_kmers"], dtype=np.int64)
+        except ServeIndexError:
+            raise
+        except Exception as exc:
+            raise IndexIntegrityError(f"unreadable index payload {path}: {exc}") from exc
+        digest = sequence_digest(sequences)
+        if digest != self.sequence_digest:
+            raise IndexIntegrityError(
+                f"stale index: {path} digests to {digest[:16]}… but the manifest "
+                f"stamps {self.sequence_digest[:16]}… — rebuild the index instead "
+                "of serving wrong answers"
+            )
+        self._sequences = sequences
+        return sequences
+
+    def banned_kmers(self) -> np.ndarray:
+        """The database's globally banned k-mer ids (see :func:`banned_kmer_ids`)."""
+        if self._banned is None:
+            self.sequences()
+        return self._banned
+
+    def stripe(self, c: int, comm: SimCommunicator) -> DistSparseMatrix:
+        """Column stripe ``c`` of ``Bᵀ``, digest-verified against the manifest."""
+        entry = self.manifest["stripes"][c]
+        shape = (self.kmer_space, self.n_sequences)
+        try:
+            stripe = load_stripe_shards(self.path / SHARD_DIR, c, shape, comm)
+        except Exception as exc:
+            raise IndexIntegrityError(
+                f"corrupt index shard for stripe {c} "
+                f"(under {self.path / SHARD_DIR / shard_filename(c, 0)}…): {exc}"
+            ) from exc
+        digest = stripe_digest(stripe)
+        if digest != entry["digest"]:
+            raise IndexIntegrityError(
+                f"stale index: stripe {c} digests to {digest[:16]}… but the "
+                f"manifest stamps {entry['digest'][:16]}…"
+            )
+        return stripe
+
+    def matrix(self, comm: SimCommunicator) -> ShardedStripeMatrix:
+        """The database operand ``Bᵀ`` as a lazy disk-backed SUMMA operand."""
+        return ShardedStripeMatrix(
+            shape=(self.kmer_space, self.n_sequences),
+            nnz=self.nnz,
+            col_ranges=self.col_ranges,
+            loader=lambda c: self.stripe(c, comm),
+        )
+
+    # ------------------------------------------------------------------ checks
+    def validate_params(self, params: PastisParams) -> None:
+        """Refuse parameter sets the index cannot serve bit-identically."""
+        want = index_params_token(params)
+        have = self.manifest["params"]
+        mismatches = {
+            key: (have.get(key), want[key]) for key in want if have.get(key) != want[key]
+        }
+        if mismatches:
+            detail = ", ".join(
+                f"{key}: index={have!r} run={want!r}"
+                for key, (have, want) in sorted(mismatches.items())
+            )
+            raise IndexCompatibilityError(
+                f"index at {self.path} was built with different parameters ({detail})"
+            )
+        _, bc = effective_blocking(params, self.n_sequences)
+        if bc != self.bc:
+            raise IndexCompatibilityError(
+                f"index at {self.path} is blocked into bc={self.bc} column stripes "
+                f"but the run's blocking asks for bc={bc}; rebuild the index or "
+                "match num_blocks/blocking to it"
+            )
+
+    def verify(self, comm: SimCommunicator | None = None) -> dict:
+        """Deep integrity check: every payload loaded and digest-verified."""
+        comm = comm or SimCommunicator(int(self.manifest["params"]["nodes"]))
+        sequences = self.sequences()
+        stripe_nnz = 0
+        for c in range(self.bc):
+            stripe_nnz += self.stripe(c, comm).nnz
+        if stripe_nnz != self.nnz:
+            raise IndexIntegrityError(
+                f"stripe nnz total {stripe_nnz} != manifest nnz {self.nnz}"
+            )
+        return {
+            "ok": True,
+            "n_sequences": len(sequences),
+            "stripes": self.bc,
+            "nnz": stripe_nnz,
+            "banned_kmers": int(self.banned_kmers().size),
+            "payload_bytes": self.payload_bytes(),
+        }
+
+    def summary(self) -> dict:
+        """Manifest-only facts for ``python -m repro.serve inspect``."""
+        return {
+            "path": str(self.path),
+            "format": self.manifest["format"],
+            "version": self.manifest["version"],
+            "n_sequences": self.n_sequences,
+            "kmer_space": self.kmer_space,
+            "nnz": self.nnz,
+            "bc": self.bc,
+            "alphabet": self.manifest["alphabet"],
+            "sequence_digest": self.sequence_digest,
+            "params": dict(self.manifest["params"]),
+            "banned_kmers": int(self.manifest["banned_kmer_count"]),
+            "payload_bytes": self.payload_bytes(),
+            "build_seconds": float(self.manifest["build_seconds"]),
+        }

@@ -1,0 +1,237 @@
+"""The asymmetric query-vs-database search path.
+
+The serving contract is *row restriction*: a query run over query set ``Q``
+must produce, for every query that is a database member, byte-for-byte the
+rows an all-vs-all run over the database would have produced — same block
+records, same edges, same SpGEMM stats.  The whole design follows from one
+decision: **the query operand lives in database row coordinates.**
+
+* A member query (same residues as a database sequence, resolved by content
+  digest) occupies its database row; its k-mer row is rebuilt bitwise equal
+  to the database row (same extraction, the database's persisted banned
+  k-mer set instead of a recount, same substitute ordering, same dedup).
+* A novel query is appended at a fresh row ``>= n_db``.
+* The output schedule is ``BlockSchedule(n_db + n_novel, n_db, br, bc_index)``
+  and only block rows containing a populated query row are computed
+  (:class:`QueryScheme`).
+
+Because both output coordinates are database-global ids, every downstream
+stage works unchanged: ``drop_self_pairs`` removes the query-vs-itself
+diagonal hit, the symmetric parity/triangularity prunes stay meaningful
+(``query_dedup=True``), the alignment phase indexes one combined
+database∪novel :class:`~repro.sequences.sequence.SequenceSet`, and when the
+query set has no novel members the operand *shape equals the database
+operand's shape*, so the rank partition — and with it every per-rank stripe,
+record and ledger charge of a fully-populated block row — is bitwise
+identical to the all-vs-all run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.kmer_matrix import KmerMatrixInfo, extract_seed_triples
+from ..core.load_balance import LoadBalancingScheme, make_scheme
+from ..core.params import PastisParams
+from ..distsparse.blocked_summa import BlockSchedule
+from ..distsparse.distribute import distribute_coo
+from ..distsparse.distmat import DistSparseMatrix
+from ..distsparse.shards import ShardedStripeMatrix
+from ..mpi.communicator import SimCommunicator
+from ..sequences.sequence import SequenceSet
+from ..sparse.coo import CooMatrix
+from ..sparse.dcsc import DcscMatrix
+from .index import KmerIndex
+
+from ..core.engine.stages import BlockTask
+
+
+@dataclass
+class QueryScheme(LoadBalancingScheme):
+    """Row-restriction wrapper around the batch load-balancing schemes.
+
+    Computes only block rows that contain at least one populated (query)
+    row.  With ``base=None`` (serving semantics) elements pass through
+    unpruned — each query row keeps all its candidates, so row ``q``
+    carries every match of ``q`` exactly once.  With a base scheme
+    (``query_dedup=True``) the base's symmetric prune applies verbatim in
+    database coordinates, making the run the literal row-restriction of
+    the all-vs-all stage graph.
+    """
+
+    name: str = "query"
+    base: LoadBalancingScheme | None = None
+    #: sorted unique global row ids occupied by queries
+    populated_rows: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    def _row_block_populated(self, schedule: BlockSchedule, r: int) -> bool:
+        lo, hi = schedule.row_range(r)
+        i = int(np.searchsorted(self.populated_rows, lo))
+        return i < self.populated_rows.size and int(self.populated_rows[i]) < hi
+
+    def blocks_to_compute(self, schedule: BlockSchedule) -> list[tuple[int, int]]:
+        source = (
+            self.base.blocks_to_compute(schedule)
+            if self.base is not None
+            else schedule.all_blocks()
+        )
+        return [(r, c) for r, c in source if self._row_block_populated(schedule, r)]
+
+    def prune(self, block: CooMatrix) -> CooMatrix:
+        return self.base.prune(block) if self.base is not None else block
+
+
+def resolve_queries(queries: SequenceSet, database: SequenceSet) -> np.ndarray:
+    """Database row of each query (``-1`` for novel sequences).
+
+    Membership is by residue content (sha256 of the code array); duplicate
+    database sequences resolve to the first occurrence.
+    """
+    if queries.alphabet.name != database.alphabet.name:
+        raise ValueError(
+            f"query alphabet {queries.alphabet.name!r} does not match the "
+            f"database alphabet {database.alphabet.name!r}"
+        )
+    lookup: dict[bytes, int] = {}
+    for i in range(len(database)):
+        lookup.setdefault(hashlib.sha256(database.codes(i).tobytes()).digest(), i)
+    rows = np.full(len(queries), -1, dtype=np.int64)
+    for q in range(len(queries)):
+        rows[q] = lookup.get(hashlib.sha256(queries.codes(q).tobytes()).digest(), -1)
+    return rows
+
+
+def build_query_kmer_coo(
+    queries: SequenceSet,
+    params: PastisParams,
+    index: KmerIndex,
+    row_ids: np.ndarray,
+    n_rows: int,
+) -> tuple[CooMatrix, KmerMatrixInfo]:
+    """The query operand ``A_query`` in database row coordinates.
+
+    Mirrors :func:`repro.core.kmer_matrix.build_kmer_coo` step for step —
+    with the database's persisted banned k-mer set standing in for the
+    global frequency filter — so a member query's row is bitwise equal to
+    its database row.
+    """
+    t0 = time.perf_counter()
+    seq_ids, kmer_ids, positions, occurrences, substitute_nnz, extractor = (
+        extract_seed_triples(
+            queries,
+            params,
+            apply_frequency_filter=False,
+            banned_kmers=index.banned_kmers(),
+        )
+    )
+    if extractor.space_size() != index.kmer_space:
+        raise ValueError(
+            f"query k-mer space {extractor.space_size()} != index k-mer space "
+            f"{index.kmer_space} (parameter validation should have caught this)"
+        )
+    rows = row_ids[seq_ids] if seq_ids.size else seq_ids.astype(np.int64)
+    shape = (n_rows, index.kmer_space)
+    coo = CooMatrix(shape, rows, kmer_ids, positions.astype(np.int32), check=False)
+    coo = coo.sort_rowmajor().deduplicate()
+    build_seconds = time.perf_counter() - t0
+    dcsc = DcscMatrix.from_coo(coo)
+    info = KmerMatrixInfo(
+        n_sequences=len(queries),
+        kmer_space=shape[1],
+        nnz=coo.nnz,
+        kmer_occurrences=occurrences,
+        substitute_nnz=substitute_nnz,
+        build_seconds=build_seconds,
+        hypersparsity_ratio=dcsc.compression_ratio_vs_csc(),
+    )
+    return coo, info
+
+
+@dataclass
+class QueryRunPlan:
+    """Everything the pipeline's query branch hands to the engine."""
+
+    index: KmerIndex
+    a_dist: DistSparseMatrix
+    b: ShardedStripeMatrix
+    schedule: BlockSchedule
+    scheme: QueryScheme
+    tasks: list[BlockTask]
+    #: database sequences (+ appended novel queries), indexed by global row id
+    align_sequences: SequenceSet
+    n_vertices: int
+    kmer_info: KmerMatrixInfo
+    #: global output row of each query, in query order
+    query_rows: np.ndarray
+    n_members: int
+    n_novel: int
+
+
+def open_index_for(params: PastisParams) -> KmerIndex:
+    """Open and validate the index a query-mode run points at."""
+    index = KmerIndex.open(params.index_dir)
+    index.validate_params(params)
+    return index
+
+
+def prepare_query_run(
+    params: PastisParams,
+    queries: SequenceSet,
+    index: KmerIndex,
+    comm: SimCommunicator,
+) -> QueryRunPlan:
+    """Resolve, build and plan one query batch against an opened index."""
+    database = index.sequences()
+    resolved = resolve_queries(queries, database)
+    novel_mask = resolved < 0
+    n_novel = int(novel_mask.sum())
+    if params.query_dedup and n_novel:
+        first = int(np.flatnonzero(novel_mask)[0])
+        raise ValueError(
+            "query_dedup=True requires every query to be a database member "
+            f"(query {first} ({queries.names[first]!r}) is not in the database); "
+            "dedup semantics are defined by database coordinates"
+        )
+    n_db = len(database)
+    query_rows = resolved.copy()
+    query_rows[novel_mask] = n_db + np.arange(n_novel, dtype=np.int64)
+    n_rows = n_db + n_novel
+
+    coo, kmer_info = build_query_kmer_coo(queries, params, index, query_rows, n_rows)
+    a_dist = distribute_coo(coo, comm)
+    b = index.matrix(comm)
+
+    br_param, _ = params.blocking_factors()
+    schedule = BlockSchedule(
+        n_rows=n_rows, n_cols=n_db, br=min(br_param, n_rows), bc=index.bc
+    )
+    base = make_scheme(params.load_balancing) if params.query_dedup else None
+    scheme = QueryScheme(base=base, populated_rows=np.unique(query_rows))
+    tasks = [BlockTask(r, c) for r, c in scheme.blocks_to_compute(schedule)]
+
+    if n_novel:
+        align_sequences = SequenceSet.concatenate(
+            [database, queries.subset(np.flatnonzero(novel_mask))]
+        )
+    else:
+        align_sequences = database
+    return QueryRunPlan(
+        index=index,
+        a_dist=a_dist,
+        b=b,
+        schedule=schedule,
+        scheme=scheme,
+        tasks=tasks,
+        align_sequences=align_sequences,
+        n_vertices=n_rows,
+        kmer_info=kmer_info,
+        query_rows=query_rows,
+        n_members=len(queries) - n_novel,
+        n_novel=n_novel,
+    )

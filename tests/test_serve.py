@@ -1,0 +1,331 @@
+"""The serving layer itself: index persistence, providers, CLI, batcher.
+
+Contract-level bit-identity of query runs lives in ``test_query_mode.py``;
+this module covers the machinery around it — the on-disk index (round-trip,
+refusals, integrity taxonomy), the pluggable sequence providers, the
+``python -m repro.serve`` CLI, and the request-batching front end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.params import PastisParams
+from repro.core.pipeline import PastisPipeline
+from repro.distsparse.blocked_summa import BlockSchedule
+from repro.distsparse.distmat import DistSparseMatrix
+from repro.core.kmer_matrix import build_kmer_coo
+from repro.mpi.communicator import SimCommunicator
+from repro.sequences import SequenceSet, write_fasta
+from repro.sequences.synthetic import SyntheticDatasetConfig, synthetic_dataset
+from repro.serve import (
+    IndexCompatibilityError,
+    IndexIntegrityError,
+    KmerIndex,
+    QueryBatcher,
+    ServeIndexError,
+    available_providers,
+    build_index,
+    load_sequences,
+    register_provider,
+)
+from repro.serve.cli import main as serve_main
+from repro.serve.index import SEQUENCES_NAME, SHARD_DIR, shard_filename
+
+N_DB = 16
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    """Database sequences, base params, and a built index."""
+    sequences = synthetic_dataset(
+        config=SyntheticDatasetConfig(
+            n_sequences=N_DB, seed=11, family_fraction=0.8, mean_family_size=4.0
+        )
+    )
+    params = PastisParams(
+        kmer_length=4, nodes=4, num_blocks=4, common_kmer_threshold=1, cache_dir=None
+    )
+    index_dir = tmp_path_factory.mktemp("serve-index")
+    build_index(sequences, params, index_dir)
+    return sequences, params, str(index_dir)
+
+
+# ---------------------------------------------------------------------- index
+def test_index_round_trip_bitwise(db):
+    """Stored stripes reload bitwise equal to freshly computed ones."""
+    sequences, params, index_dir = db
+    index = KmerIndex.open(index_dir)
+    comm = SimCommunicator(params.nodes)
+    coo, _ = build_kmer_coo(sequences, params)
+    bt = DistSparseMatrix.from_global_coo(coo.transpose(), comm)
+    schedule = BlockSchedule(n_rows=N_DB, n_cols=N_DB, br=1, bc=index.bc)
+    for c in range(index.bc):
+        expected = bt.col_stripe(schedule.col_range(c))
+        got = index.stripe(c, comm)
+        assert got.shape == expected.shape
+        for rank in range(params.nodes):
+            assert got.offsets(rank) == expected.offsets(rank)
+            want, have = expected.local(rank), got.local(rank)
+            np.testing.assert_array_equal(have.rows, want.rows)
+            np.testing.assert_array_equal(have.cols, want.cols)
+            np.testing.assert_array_equal(have.values, want.values)
+
+
+def test_index_round_trips_sequences_and_summary(db):
+    sequences, params, index_dir = db
+    index = KmerIndex.open(index_dir)
+    stored = index.sequences()
+    np.testing.assert_array_equal(stored.data, sequences.data)
+    np.testing.assert_array_equal(stored.offsets, sequences.offsets)
+    assert [str(n) for n in stored.names] == [str(n) for n in sequences.names]
+    summary = index.summary()
+    assert summary["n_sequences"] == N_DB
+    assert summary["params"]["kmer_length"] == params.kmer_length
+    report = index.verify()
+    assert report["ok"] and report["stripes"] == index.bc
+
+
+def test_build_refuses_overwrite_without_force(db, tmp_path):
+    sequences, params, index_dir = db
+    with pytest.raises(ServeIndexError, match="refusing to overwrite"):
+        build_index(sequences, params, index_dir)
+    # force=True rebuilds in place and the result still verifies
+    rebuilt = build_index(sequences, params, index_dir, force=True)
+    assert rebuilt.verify()["ok"]
+
+
+def test_index_refuses_mismatched_params(db):
+    sequences, params, index_dir = db
+    index = KmerIndex.open(index_dir)
+    with pytest.raises(IndexCompatibilityError, match="different parameters"):
+        index.validate_params(params.replace(kmer_length=5))
+    with pytest.raises(IndexCompatibilityError, match="bc="):
+        index.validate_params(params.replace(num_blocks=16))
+    # the pipeline front door refuses the same way
+    with pytest.raises(IndexCompatibilityError):
+        PastisPipeline(
+            params.replace(mode="query", index_dir=index_dir, kmer_length=5)
+        ).run(sequences.subset(np.array([0])))
+
+
+def test_stale_sequences_payload_is_refused(db, tmp_path):
+    """Tampered database residues must never be served from."""
+    sequences, params, _ = db
+    index_dir = tmp_path / "index"
+    build_index(sequences, params, index_dir)
+    payload = index_dir / SEQUENCES_NAME
+    raw = bytearray(payload.read_bytes())
+    # flip one residue code inside the npz payload
+    raw[len(raw) // 2] ^= 0x01
+    payload.write_bytes(bytes(raw))
+    index = KmerIndex.open(index_dir)
+    with pytest.raises(IndexIntegrityError):
+        index.sequences()
+
+
+def test_corrupt_shard_is_refused_with_file_named(db, tmp_path):
+    sequences, params, _ = db
+    index_dir = tmp_path / "index"
+    build_index(sequences, params, index_dir)
+    victim = index_dir / SHARD_DIR / shard_filename(0, 0)
+    victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+    index = KmerIndex.open(index_dir)
+    comm = SimCommunicator(params.nodes)
+    with pytest.raises(IndexIntegrityError, match="corrupt index shard for stripe 0"):
+        index.stripe(0, comm)
+    with pytest.raises(IndexIntegrityError):
+        index.verify()
+
+
+def test_open_refuses_non_index_directory(tmp_path):
+    with pytest.raises(ServeIndexError, match="no index manifest"):
+        KmerIndex.open(tmp_path)
+    (tmp_path / "index.json").write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ServeIndexError, match="not a pastis-kmer-index"):
+        KmerIndex.open(tmp_path)
+
+
+# ------------------------------------------------------------------ edge cases
+def test_empty_query_batch(db):
+    """Zero queries is a served no-op, not a crash."""
+    sequences, params, index_dir = db
+    empty = SequenceSet.from_strings([], alphabet=sequences.alphabet)
+    result = PastisPipeline(
+        params.replace(mode="query", index_dir=index_dir)
+    ).run(empty)
+    assert result.similarity_graph.edges.size == 0
+    assert result.query_rows.size == 0
+    assert result.stats.extras["query"]["n_queries"] == 0
+
+
+def test_query_longer_than_any_database_sequence(db):
+    """An over-length novel query degrades to 'no matches', never a crash."""
+    sequences, params, index_dir = db
+    longest = int(np.diff(sequences.offsets).max())
+    rng = np.random.default_rng(0)
+    residues = "".join(rng.choice(list("ACDEFGHIKLMNPQRSTVWY"), size=longest * 3))
+    query = SequenceSet.from_strings([residues], names=["long-novel"])
+    result = PastisPipeline(
+        params.replace(mode="query", index_dir=index_dir)
+    ).run(query)
+    assert result.query_rows.tolist() == [N_DB]
+    edges = result.similarity_graph.edges
+    # every admitted edge (if any survived coverage) touches the query row
+    assert all(N_DB in (int(e["row"]), int(e["col"])) for e in edges)
+
+
+# ------------------------------------------------------------------- providers
+def test_synthetic_provider_specs():
+    bare = load_sequences("synthetic:12")
+    assert len(bare) == 12
+    seeded = load_sequences("synthetic:n_sequences=8,seed=3,family_fraction=0.5")
+    again = load_sequences("synthetic:n_sequences=8,seed=3,family_fraction=0.5")
+    np.testing.assert_array_equal(seeded.data, again.data)
+
+
+def test_fasta_provider_round_trip(db, tmp_path):
+    sequences, _, _ = db
+    path = tmp_path / "db.fasta"
+    assert write_fasta(path, sequences) == N_DB
+    loaded = load_sequences(f"fasta:{path}")
+    np.testing.assert_array_equal(loaded.data, sequences.data)
+    assert [str(n) for n in loaded.names] == [str(n) for n in sequences.names]
+
+
+def test_provider_spec_errors():
+    with pytest.raises(ValueError, match="provider:arguments"):
+        load_sequences("no-colon-here")
+    with pytest.raises(ValueError, match="unknown sequence provider"):
+        load_sequences("s3:bucket/key")
+    with pytest.raises(ValueError, match="bad synthetic argument"):
+        load_sequences("synthetic:bogus=1")
+    with pytest.raises(ValueError, match="needs a path"):
+        load_sequences("fasta:")
+
+
+def test_register_custom_provider():
+    def tiny(args: str) -> SequenceSet:
+        return SequenceSet.from_strings(["ACDEFGHIK"] * int(args))
+
+    register_provider("tiny", tiny)
+    try:
+        assert "tiny" in available_providers()
+        assert len(load_sequences("tiny:3")) == 3
+        with pytest.raises(ValueError, match="invalid provider name"):
+            register_provider("bad:name", tiny)
+    finally:
+        from repro.serve import providers
+
+        providers._REGISTRY.pop("tiny", None)
+
+
+# ------------------------------------------------------------------------- CLI
+def test_cli_build_inspect_query(tmp_path, capsys):
+    out = tmp_path / "cli-index"
+    source = "synthetic:n_sequences=12,seed=4,family_fraction=0.8,mean_family_size=4.0"
+    assert (
+        serve_main(
+            [
+                "build",
+                "--source", source,
+                "--out", str(out),
+                "--kmer-length", "4",
+                "--nodes", "4",
+                "--num-blocks", "4",
+            ]
+        )
+        == 0
+    )
+    assert (out / "index.json").exists()
+    assert "built index" in capsys.readouterr().out
+
+    assert serve_main(["inspect", str(out), "--verify"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["n_sequences"] == 12
+    assert summary["verify"]["ok"] is True
+
+    report_path = tmp_path / "report.json"
+    assert (
+        serve_main(
+            [
+                "query",
+                "--index", str(out),
+                "--source", source,
+                "--dedup",
+                "--common-kmer-threshold", "1",
+                "--report", str(report_path),
+            ]
+        )
+        == 0
+    )
+    assert "matches:" in capsys.readouterr().out
+    report = json.loads(report_path.read_text())
+    assert report["query_n_queries"] == 12
+    assert report["query_members"] == 12
+
+
+# --------------------------------------------------------------------- batcher
+def test_batcher_coalescing_and_split_answers(db):
+    """Requests coalesce under the bound, never split, and each request's
+    matches equal a standalone run of its own queries."""
+    sequences, params, index_dir = db
+    batcher = QueryBatcher(index_dir, params, max_batch_queries=4)
+    r1 = batcher.submit(sequences.subset(np.arange(0, 3)))
+    r2 = batcher.submit(sequences.subset(np.arange(3, 5)))
+    r3 = batcher.submit(sequences.subset(np.arange(5, 6)))
+    assert batcher.pending_requests == 3
+    answers = {a.request_id: a for a in batcher.drain()}
+    assert batcher.pending_requests == 0
+    # 3 + 2 > 4 forces a new batch; 2 + 1 <= 4 coalesces
+    assert answers[r1].batch_index == 0
+    assert answers[r2].batch_index == answers[r3].batch_index == 1
+
+    # each request's matches == a standalone query run over its own queries
+    for rid, lo, hi in ((r1, 0, 3), (r2, 3, 5), (r3, 5, 6)):
+        solo = PastisPipeline(
+            params.replace(mode="query", index_dir=index_dir)
+        ).run(sequences.subset(np.arange(lo, hi)))
+        edges = solo.similarity_graph.edges
+        for q, row in enumerate(answers[rid].rows):
+            expected = set(edges["col"][edges["row"] == row]) | set(
+                edges["row"][edges["col"] == row]
+            )
+            assert set(answers[rid].matches[q]["partner"]) == {
+                int(p) for p in expected
+            }
+
+    summary = batcher.queue_summary()
+    assert summary["batches"] == 2 and summary["queries"] == 6
+    assert summary["identity_residual"] == pytest.approx(0.0, abs=1e-12)
+    # overlap hides work: the windowed clock never exceeds the serial clock
+    assert summary["clock_seconds"] <= summary["serial_clock_seconds"] + 1e-12
+
+
+def test_batcher_metrics_and_empty_drain(db):
+    sequences, params, index_dir = db
+    batcher = QueryBatcher(index_dir, params, max_batch_queries=8)
+    assert batcher.drain() == []
+    batcher.submit(sequences.subset(np.arange(0, 2)), request_id="mine")
+    (answer,) = batcher.drain()
+    assert answer.request_id == "mine"
+    assert answer.total_matches == sum(m.size for m in answer.matches)
+    hub = batcher.hub
+    assert hub.value("serve_requests") == 1.0
+    assert hub.value("serve_queries") == 2.0
+    assert hub.value("serve_batches") == 1.0
+    assert hub.histogram("serve_batch_wall_seconds")["count"] == 1.0
+
+
+def test_batcher_oversized_request_forms_own_batch(db):
+    sequences, params, index_dir = db
+    batcher = QueryBatcher(index_dir, params, max_batch_queries=2)
+    big = batcher.submit(sequences.subset(np.arange(0, 5)))
+    small = batcher.submit(sequences.subset(np.arange(5, 6)))
+    answers = {a.request_id: a for a in batcher.drain()}
+    assert answers[big].batch_index == 0
+    assert answers[small].batch_index == 1
+    assert len(answers[big].matches) == 5
